@@ -1,0 +1,244 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation (Sec. VI). One testing.B benchmark per experiment id;
+// each iteration performs the full experiment so -benchtime=1x gives
+// one regeneration. The default scale-search bounds are trimmed so the
+// whole suite completes in minutes; cmd/tsplit-bench runs the
+// full-range versions and prints the complete tables.
+package tsplit_test
+
+import (
+	"testing"
+
+	"tsplit/internal/device"
+	"tsplit/internal/experiments"
+	"tsplit/internal/models"
+)
+
+// modelsConfig aliases the zoo config for the helpers below.
+type modelsConfig = models.Config
+
+// benchHi bounds the scale searches in benchmarks.
+const (
+	benchHiSample = 512
+	benchHiParam  = 16
+)
+
+// BenchmarkFig1_BERTMemoryScale regenerates paper Fig. 1: BERT-Large
+// memory requirement across the sample × parameter scale grid with
+// per-GPU trainability.
+func BenchmarkFig1_BERTMemoryScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid, caps, err := experiments.Fig1BERTMemoryScale()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(grid) == 0 || len(caps) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig2a_MemoryTimeline regenerates paper Fig. 2(a): the
+// memory footprint over time of SuperNeurons vs TSPLIT on VGG-16.
+func BenchmarkFig2a_MemoryTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2aMemoryTimeline(device.TitanRTX, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2b_OverheadPCIe regenerates paper Fig. 2(b):
+// SuperNeurons' overhead and PCIe utilization across the CNN models.
+func BenchmarkFig2b_OverheadPCIe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2bOverheadPCIe(device.TitanRTX, "superneurons")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("missing models")
+		}
+	}
+}
+
+// BenchmarkTable2_TensorSizes regenerates paper Table II: the tensor
+// size distribution of BERT-Large.
+func BenchmarkTable2_TensorSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2TensorSizes(32, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5_OpSplitCurves regenerates paper Fig. 5: operator
+// execution time vs partition count.
+func BenchmarkFig5_OpSplitCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5OpSplitCurves(device.TitanRTX, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4_MaxSampleScale regenerates paper Table IV: the
+// maximum trainable batch size per model × policy on the Titan RTX.
+func BenchmarkTable4_MaxSampleScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table4MaxSampleScale(device.TitanRTX, benchHiSample)
+		if t.Get("vgg16", "tsplit") <= 0 {
+			b.Fatal("tsplit cannot train vgg16?")
+		}
+	}
+}
+
+// BenchmarkTable5_MaxParamScale regenerates paper Table V: the maximum
+// parameter-scale multiplier per model × policy at batch 16.
+func BenchmarkTable5_MaxParamScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table5MaxParamScale(device.TitanRTX, benchHiParam)
+		if t.Get("resnet50", "tsplit") <= 0 {
+			b.Fatal("tsplit cannot scale resnet50?")
+		}
+	}
+}
+
+// BenchmarkFig12_ThroughputRTX regenerates paper Fig. 12: throughput
+// vs sample size for four models on the Titan RTX.
+func BenchmarkFig12_ThroughputRTX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig12ThroughputRTX()
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig13_Throughput1080Ti regenerates paper Fig. 13: the same
+// sweep on the GTX 1080Ti.
+func BenchmarkFig13_Throughput1080Ti(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig13Throughput1080Ti()
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig14a_ScaleUnderThroughput regenerates paper Fig. 14(a):
+// max sample size under 60%/50% of Base throughput for SuperNeurons,
+// TSPLIT w/o Split and TSPLIT.
+func BenchmarkFig14a_ScaleUnderThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14aScaleUnderThroughput(device.TitanRTX, benchHiSample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig14b_StrategyMix regenerates paper Fig. 14(b): TSPLIT's
+// swap-vs-recompute byte mix on the Titan RTX vs the GTX 1080Ti.
+func BenchmarkFig14b_StrategyMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14bStrategyMix(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("need both devices")
+		}
+	}
+}
+
+// BenchmarkTable6_MaxSampleVsOffload regenerates paper Table VI:
+// sample scale against ZeRO-Offload and FairScale-Offload.
+func BenchmarkTable6_MaxSampleVsOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table6MaxSampleVsOffload(device.TitanRTX, benchHiSample)
+		if t.Get("vgg16", "tsplit-offload") <= 0 {
+			b.Fatal("tsplit missing")
+		}
+	}
+}
+
+// BenchmarkTable7_MaxParamVsOffload regenerates paper Table VII:
+// parameter scale against the offload baselines.
+func BenchmarkTable7_MaxParamVsOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table7MaxParamVsOffload(device.TitanRTX, benchHiParam)
+		if t.Get("transformer", "tsplit-offload") <= 0 {
+			b.Fatal("tsplit missing")
+		}
+	}
+}
+
+// BenchmarkFig15_ThroughputVsOffload regenerates paper Fig. 15:
+// throughput against the offload baselines.
+func BenchmarkFig15_ThroughputVsOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig15ThroughputVsOffload()
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §4) ---
+
+// BenchmarkAblation_PlannerGreedyRatio measures planning cost itself:
+// the model-guided greedy search on a large transformer graph.
+func BenchmarkAblation_PlannerGreedyRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.Prepare("bert-large", tsplitModelConfig(64), device.TitanRTX)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.PlanPolicy(p, "tsplit", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SplitVsNoSplit compares the feasibility frontier
+// of TSPLIT with and without tensor splitting (Fig. 14(a) in
+// miniature).
+func BenchmarkAblation_SplitVsNoSplit(b *testing.B) {
+	small := device.TitanRTX
+	small.MemBytes = 6 << 30
+	for i := 0; i < b.N; i++ {
+		with := experiments.MaxSampleScale("vgg16", "tsplit", small, tsplitModelConfig(0), 256)
+		without := experiments.MaxSampleScale("vgg16", "tsplit-nosplit", small, tsplitModelConfig(0), 256)
+		if with < without {
+			b.Fatalf("split (%d) below no-split (%d)", with, without)
+		}
+		b.ReportMetric(float64(with), "max-batch/split")
+		b.ReportMetric(float64(without), "max-batch/nosplit")
+	}
+}
+
+// tsplitModelConfig builds a ModelConfig with the given batch (0 keeps
+// the zoo default; scale searches override it anyway).
+func tsplitModelConfig(batch int) (c modelsConfig) {
+	c.BatchSize = batch
+	return
+}
+
+// BenchmarkAblation_DesignChoices runs every DESIGN.md §4 ablation
+// sweep (candidate selection, recomputation strategy, split lookahead,
+// tie-break, pool placement).
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, err := experiments.AllAblations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != 5 {
+			b.Fatal("missing ablations")
+		}
+	}
+}

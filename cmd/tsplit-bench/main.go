@@ -1,0 +1,135 @@
+// Command tsplit-bench regenerates the paper's evaluation tables and
+// figures on the simulated devices. Run with -exp all (default) or a
+// comma-separated subset of:
+//
+//	fig1 fig2a fig2b table2 fig5 table4 table5 fig12 fig13
+//	fig14a fig14b table6 table7 fig15 ablations
+//
+// -quick trims the scale-search bounds so a full run finishes in about
+// a minute; the defaults match the paper's ranges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tsplit/internal/device"
+	"tsplit/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
+	quick := flag.Bool("quick", false, "trim scale-search bounds for a fast run")
+	flag.Parse()
+
+	hi := 0 // default search bounds
+	hiParam := 0
+	if *quick {
+		hi = 512
+		hiParam = 16
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	run := func(id string, f func() (string, error)) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			return
+		}
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+
+	run("fig1", func() (string, error) {
+		grid, caps, err := experiments.Fig1BERTMemoryScale()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig1(grid, caps), nil
+	})
+	run("fig2a", func() (string, error) {
+		fig, err := experiments.Fig2aMemoryTimeline(device.TitanRTX, 256)
+		if err != nil {
+			return "", err
+		}
+		return fig.Render(), nil
+	})
+	run("fig2b", func() (string, error) {
+		rows, err := experiments.Fig2bOverheadPCIe(device.TitanRTX, "superneurons")
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderOverhead("superneurons", rows), nil
+	})
+	run("table2", func() (string, error) {
+		buckets, err := experiments.Table2TensorSizes(32, 512)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(buckets), nil
+	})
+	run("fig5", func() (string, error) {
+		curves, err := experiments.Fig5OpSplitCurves(device.TitanRTX, 64)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig5(curves), nil
+	})
+	run("table4", func() (string, error) {
+		return experiments.Table4MaxSampleScale(device.TitanRTX, hi).Render(), nil
+	})
+	run("table5", func() (string, error) {
+		return experiments.Table5MaxParamScale(device.TitanRTX, hiParam).Render(), nil
+	})
+	run("fig12", func() (string, error) {
+		return experiments.Fig12ThroughputRTX().Render(), nil
+	})
+	run("fig13", func() (string, error) {
+		return experiments.Fig13Throughput1080Ti().Render(), nil
+	})
+	run("fig14a", func() (string, error) {
+		rows, err := experiments.Fig14aScaleUnderThroughput(device.TitanRTX, hi)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig14a(rows), nil
+	})
+	run("fig14b", func() (string, error) {
+		rows, err := experiments.Fig14bStrategyMix(0)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig14b(rows), nil
+	})
+	run("table6", func() (string, error) {
+		return experiments.Table6MaxSampleVsOffload(device.TitanRTX, hi).Render(), nil
+	})
+	run("table7", func() (string, error) {
+		return experiments.Table7MaxParamVsOffload(device.TitanRTX, hiParam).Render(), nil
+	})
+	run("fig15", func() (string, error) {
+		return experiments.Fig15ThroughputVsOffload().Render(), nil
+	})
+	run("ablations", func() (string, error) {
+		reports, err := experiments.AllAblations()
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, r := range reports {
+			b.WriteString(r.Render())
+			b.WriteString("\n")
+		}
+		return b.String(), nil
+	})
+}

@@ -1,0 +1,117 @@
+// Command tsplit-plan plans a model on a device and prints the full
+// sTensor configuration: every swap/recompute decision with its
+// eviction, prefetch and restore positions, every split decision with
+// p_num and dimension, and (with -augment) the inserted-operator
+// summary of the materialized augmented graph (paper Fig. 10).
+//
+//	tsplit-plan -model vgg16 -batch 256 -device "TITAN RTX"
+//	tsplit-plan -model bert-large -batch 64 -policy superneurons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tsplit/internal/core"
+
+	"tsplit"
+)
+
+func main() {
+	model := flag.String("model", "vgg16", "model name (see tsplit.Models)")
+	batch := flag.Int("batch", 128, "batch size (sample scale)")
+	scale := flag.Float64("scale", 1, "parameter scale multiplier")
+	devName := flag.String("device", "TITAN RTX", "device profile name")
+	policy := flag.String("policy", "tsplit", "tsplit, tsplit-nosplit, or a baseline name")
+	augment := flag.Bool("augment", false, "materialize and summarize the augmented graph")
+	jsonPath := flag.String("json", "", "export the plan as JSON to this file (- for stdout)")
+	dotPath := flag.String("dot", "", "export the augmented graph as Graphviz DOT to this file")
+	verbose := flag.Bool("v", false, "print every per-tensor decision")
+	flag.Parse()
+
+	var dev tsplit.Device
+	switch *devName {
+	case "TITAN RTX":
+		dev = tsplit.TitanRTX
+	case "GTX 1080Ti":
+		dev = tsplit.GTX1080Ti
+	case "V100":
+		dev = tsplit.V100
+	case "P100":
+		dev = tsplit.P100
+	default:
+		log.Fatalf("unknown device %q", *devName)
+	}
+
+	w, err := tsplit.Load(*model, tsplit.ModelConfig{BatchSize: *batch, ParamScale: *scale}, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s batch=%d scale=%.2g on %s\n", *model, *batch, *scale, dev)
+	fmt.Printf("unmanaged peak: %.2f GiB, ideal iteration: %.3f s\n\n",
+		float64(w.BaselinePeakBytes())/(1<<30), w.IdealTime())
+
+	var plan *tsplit.Plan
+	var rep tsplit.Report
+	switch *policy {
+	case "tsplit", "tsplit-nosplit":
+		plan, rep, err = w.AutoPlan(tsplit.PlanOptions{DisableSplit: *policy == "tsplit-nosplit"})
+		if err != nil {
+			log.Fatalf("planning: %v", err)
+		}
+	default:
+		plan, err = w.PlanBaseline(*policy)
+		if err != nil {
+			log.Fatalf("planning: %v", err)
+		}
+		rep, err = w.Run(plan)
+		if err != nil {
+			log.Fatalf("%s cannot train this configuration: %v", *policy, err)
+		}
+	}
+
+	if *verbose {
+		fmt.Println(plan.Describe())
+	} else {
+		fmt.Println(plan)
+	}
+	fmt.Printf("\nmeasured: %.1f samples/s (%.1f%% overhead), peak %.2f GiB, PCIe %.0f%%, %d recomputed ops\n",
+		rep.Throughput, rep.Overhead*100, rep.PeakGiB, rep.PCIeUtilization*100, rep.RecomputedOps)
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := core.ExportJSON(out, plan); err != nil {
+			log.Fatalf("json export: %v", err)
+		}
+	}
+
+	if *augment || *dotPath != "" {
+		ag, err := w.Augment(plan)
+		if err != nil {
+			log.Fatalf("augment: %v", err)
+		}
+		fmt.Printf("\naugmented graph: %d ops (%d original)\n", len(ag.G.Ops), len(w.G.Ops))
+		fmt.Printf("  swap-out %d  swap-in %d  split %d  merge %d  recompute %d\n",
+			ag.SwapOuts, ag.SwapIns, ag.SplitOps, ag.MergeOps, ag.RecomputeOps)
+		if *dotPath != "" {
+			f, err := os.Create(*dotPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := ag.DOT(f); err != nil {
+				log.Fatalf("dot export: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tsplit
+
+go 1.22

@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"testing"
+
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/models"
+	"tsplit/internal/profiler"
+	"tsplit/internal/tensor"
+)
+
+func inputs(t *testing.T, model string, cfg models.Config) Inputs {
+	t.Helper()
+	g, err := models.Build(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := graph.BuildSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := graph.AnalyzeLiveness(g, sched)
+	return Inputs{G: g, Sched: sched, Lv: lv, Prof: profiler.New(device.TitanRTX, sched), Dev: device.TitanRTX}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, n := range Names {
+		if _, ok := Registry[n]; !ok {
+			t.Errorf("policy %s missing from registry", n)
+		}
+	}
+	if len(Registry) != len(Names) {
+		t.Error("registry and names out of sync")
+	}
+}
+
+func TestBaseIsEmpty(t *testing.T) {
+	in := inputs(t, "vgg16", models.Config{BatchSize: 8})
+	p, err := Base(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tensors) != 0 || len(p.Splits) != 0 || p.OffloadOptimizer || p.ShardParams {
+		t.Fatal("base plan must be empty")
+	}
+}
+
+func TestVDNNConvSwapsConvInputsOnly(t *testing.T) {
+	in := inputs(t, "vgg16", models.Config{BatchSize: 8})
+	p, err := VDNNConv(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tensors) == 0 {
+		t.Fatal("no decisions")
+	}
+	for _, tp := range p.Tensors {
+		if tp.Opt != core.Swap {
+			t.Fatalf("%s planned %v, vdnn-conv only swaps", tp.Tensor.Name, tp.Opt)
+		}
+		consumedByConv := false
+		for _, c := range tp.Tensor.Consumers {
+			if c.Kind == graph.Conv2D {
+				consumedByConv = true
+			}
+		}
+		if !consumedByConv {
+			t.Fatalf("%s is not a convolution input", tp.Tensor.Name)
+		}
+	}
+}
+
+func TestVDNNConvRejectsTransformer(t *testing.T) {
+	in := inputs(t, "transformer", models.Config{BatchSize: 4, SeqLen: 32})
+	if _, err := VDNNConv(in); err == nil {
+		t.Fatal("vdnn-conv must reject conv-free models (paper's x)")
+	}
+	if _, err := SuperNeurons(in); err == nil {
+		t.Fatal("superneurons must reject conv-free models (paper's x)")
+	}
+}
+
+func TestVDNNAllSwapsEverythingEvictable(t *testing.T) {
+	in := inputs(t, "vgg16", models.Config{BatchSize: 8})
+	p, err := VDNNAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, _ := VDNNConv(in)
+	if len(p.Tensors) <= len(conv.Tensors) {
+		t.Fatal("vdnn-all should swap strictly more than vdnn-conv")
+	}
+}
+
+func TestCheckpointsKeepsSqrtBoundaries(t *testing.T) {
+	in := inputs(t, "vgg16", models.Config{BatchSize: 8})
+	p, err := Checkpoints(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := 0
+	for _, tp := range p.Tensors {
+		if tp.Opt != core.Recompute {
+			t.Fatalf("checkpoints planned %v", tp.Opt)
+		}
+		recomputed++
+	}
+	// Count backward-used forward activations; roughly 1/sqrt(n) of
+	// them must reside as checkpoints.
+	total := 0
+	for _, op := range in.Sched.Ops {
+		if op.Phase != graph.Forward {
+			continue
+		}
+		for _, x := range op.Outputs {
+			if x.Kind == tensor.FeatureMap && backwardUsed(x) {
+				total++
+			}
+		}
+	}
+	if recomputed >= total {
+		t.Fatal("no checkpoints kept")
+	}
+	if recomputed == 0 {
+		t.Fatal("nothing recomputed")
+	}
+}
+
+func TestSuperNeuronsPolicyByLayerType(t *testing.T) {
+	in := inputs(t, "resnet50", models.Config{BatchSize: 8})
+	p, err := SuperNeurons(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps, recomputes := 0, 0
+	for _, tp := range p.Tensors {
+		prod := tp.Tensor.Producer
+		switch tp.Opt {
+		case core.Swap:
+			swaps++
+			if prod != nil && prod.Kind != graph.Conv2D {
+				t.Fatalf("%s swapped but produced by %v", tp.Tensor.Name, prod.Kind)
+			}
+		case core.Recompute:
+			recomputes++
+			if prod == nil || !cheapToRecompute(prod.Kind) {
+				t.Fatalf("%s recomputed but produced by %v", tp.Tensor.Name, prod)
+			}
+		}
+	}
+	if swaps == 0 || recomputes == 0 {
+		t.Fatalf("superneurons: %d swaps, %d recomputes", swaps, recomputes)
+	}
+}
+
+func TestOffloadFlags(t *testing.T) {
+	in := inputs(t, "vgg16", models.Config{BatchSize: 8, Optimizer: graph.Adam})
+	zo, err := ZeroOffload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zo.OffloadOptimizer || zo.ShardParams {
+		t.Fatal("zero-offload flags wrong")
+	}
+	fs, err := FairScaleOffload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.ShardParams || !fs.OffloadOptimizer {
+		t.Fatal("fairscale flags wrong")
+	}
+	if len(fs.Tensors) == 0 {
+		t.Fatal("fairscale must also swap activations")
+	}
+}
+
+func TestAllPlansHaveValidWindows(t *testing.T) {
+	in := inputs(t, "resnet50", models.Config{BatchSize: 8})
+	for name, planner := range Registry {
+		p, err := planner(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, tp := range p.Tensors {
+			if tp.RestoreAt >= 0 && tp.RestoreAt <= tp.EvictAt {
+				t.Fatalf("%s: %s windows inverted", name, tp.Tensor.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/profiler"
+	"tsplit/internal/tensor"
+)
+
+// SplitTensors identifies the activation input and the output of op
+// that a split along dim would carve, or nils when op is not splittable
+// along dim. For the sample dimension both must share the batch axis
+// (axis 0); for the parameter dimension the "input" side is the weight
+// and the carved output axis is the channel/hidden axis.
+func SplitTensors(op *graph.Op, dim tensor.SplitDim) (in, out *graph.Tensor) {
+	if len(op.Outputs) == 0 {
+		return nil, nil
+	}
+	o := op.Outputs[0]
+	kind := op.Kind
+	if kind == graph.GradOp && op.FwdOp != nil {
+		kind = op.FwdOp.Kind
+	}
+	switch dim {
+	case tensor.DimSample:
+		switch kind {
+		case graph.Conv2D, graph.MatMul, graph.ReLU, graph.GELU, graph.MaxPool,
+			graph.AvgPool, graph.Dropout, graph.LayerNorm, graph.Scale, graph.Embedding,
+			graph.Add, graph.BatchNorm, graph.CrossEntropy:
+		case graph.Softmax:
+			if op.Attrs.Axis == 0 {
+				return nil, nil
+			}
+		default:
+			return nil, nil
+		}
+		if o.Shape.Rank() < 2 {
+			return nil, nil
+		}
+		for _, t := range op.Inputs {
+			switch t.Kind {
+			case tensor.FeatureMap, tensor.Input, tensor.Gradient:
+				if t.Shape.Rank() >= 2 && t.Shape[0] == o.Shape[0] {
+					return t, o
+				}
+			}
+		}
+		return nil, nil
+	case tensor.DimParam:
+		switch kind {
+		case graph.Conv2D, graph.MatMul:
+		default:
+			return nil, nil
+		}
+		// The weight operand is carved along its output axis.
+		for _, t := range op.Inputs {
+			if t.Kind == tensor.Parameter && t.Shape.Rank() >= 2 {
+				return t, o
+			}
+		}
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// effectiveKind resolves a GradOp to the operator kind it
+// differentiates.
+func effectiveKind(op *graph.Op) graph.OpKind {
+	if op.Kind == graph.GradOp && op.FwdOp != nil {
+		return op.FwdOp.Kind
+	}
+	return op.Kind
+}
+
+// splitAxis returns the concrete axis of the carved output for dim.
+func splitAxis(op *graph.Op, dim tensor.SplitDim) int {
+	if dim == tensor.DimSample {
+		return 0
+	}
+	kind := op.Kind
+	if kind == graph.GradOp && op.FwdOp != nil {
+		kind = op.FwdOp.Kind
+	}
+	if kind == graph.Conv2D {
+		return 1 // NCHW channel axis
+	}
+	return op.Outputs[0].Shape.Rank() - 1 // hidden axis of matmul
+}
+
+// uses returns the schedule indices of t's consumers, ascending.
+func uses(t *graph.Tensor, sched *graph.Schedule) []int {
+	idx := make([]int, 0, len(t.Consumers))
+	for _, c := range t.Consumers {
+		idx = append(idx, sched.Index[c])
+	}
+	for i := 1; i < len(idx); i++ { // insertion sort; consumer lists are short
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// evictionWindow returns (evictAt, restoreAt) for evicting t around the
+// bottleneck index i: the last use strictly before i and the first use
+// at-or-after i. ok is false when t is not evictable around i (it is
+// used at i itself, produced at-or-after i, or never used again).
+func evictionWindow(t *graph.Tensor, sched *graph.Schedule, lv *graph.Liveness, i int) (evictAt, restoreAt int, ok bool) {
+	first := lv.FirstUse[t]
+	if first >= i { // not yet produced, or produced at the bottleneck
+		return 0, 0, false
+	}
+	evictAt = first
+	if evictAt < 0 {
+		evictAt = 0
+	}
+	restoreAt = -1
+	for _, u := range uses(t, sched) {
+		switch {
+		case u == i:
+			return 0, 0, false // input of the bottleneck op itself
+		case u < i:
+			if u > evictAt {
+				evictAt = u
+			}
+		case restoreAt == -1:
+			restoreAt = u
+		}
+	}
+	if restoreAt == -1 {
+		return 0, 0, false // dead after i anyway; eviction frees nothing new
+	}
+	return evictAt, restoreAt, true
+}
+
+// RecomputeChain returns the forward operators that must re-execute to
+// rebuild t, in execution order, walking producers until every leaf
+// input satisfies avail. maxLen bounds the chain (beyond it recompute
+// is not a sensible candidate and an error is returned).
+func RecomputeChain(t *graph.Tensor, avail func(*graph.Tensor) bool, maxLen int) ([]*graph.Op, error) {
+	var chain []*graph.Op
+	visited := make(map[*graph.Op]bool)
+	var walk func(x *graph.Tensor) error
+	walk = func(x *graph.Tensor) error {
+		p := x.Producer
+		if p == nil {
+			return fmt.Errorf("core: recompute source %s has no producer and is not available", x.Name)
+		}
+		if visited[p] {
+			return nil
+		}
+		visited[p] = true
+		if len(visited) > maxLen {
+			return fmt.Errorf("core: recompute chain for %s exceeds %d ops", t.Name, maxLen)
+		}
+		for _, in := range p.Inputs {
+			if avail(in) {
+				continue
+			}
+			if err := walk(in); err != nil {
+				return err
+			}
+		}
+		chain = append(chain, p)
+		return nil
+	}
+	if err := walk(t); err != nil {
+		return nil, err
+	}
+	return chain, nil
+}
+
+// availFn builds the availability predicate for recompute chains under
+// the current plan at backward index r: parameters and staged inputs
+// are always available; feature maps are available when the plan keeps
+// them resident through r, or restores them (swap) at or before r.
+func availFn(p *Plan, lv *graph.Liveness, r int) func(*graph.Tensor) bool {
+	return func(t *graph.Tensor) bool {
+		switch t.Kind {
+		case tensor.Parameter, tensor.OptState:
+			return !p.ShardParams
+		case tensor.Input:
+			if tp, ok := p.Tensors[t.ID]; ok && tp.Opt != Reside {
+				return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= r
+			}
+			return true
+		case tensor.FeatureMap:
+			tp, ok := p.Tensors[t.ID]
+			if !ok || tp.Opt == Reside {
+				return lv.FirstUse[t] <= r && r <= lv.LastUse[t]
+			}
+			// A micro-restored tensor only ever returns in fragments
+			// streamed into its split consumer; chains may not pull it
+			// back whole.
+			return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= r && r <= lv.LastUse[t]
+		default:
+			return false
+		}
+	}
+}
+
+// chainTransientBytes estimates the extra device memory a
+// regeneration of t needs while its chain executes. Under the
+// LRU-hybrid runtime (paper Sec. V-D) chain intermediates are shed as
+// soon as memory pressure appears, so the irreducible transient is the
+// largest single intermediate that must coexist with the target — not
+// the full chain replay. The regenerated target itself is excluded
+// (the memory simulation already charges it from its restore point).
+func chainTransientBytes(chain []*graph.Op, t *graph.Tensor) int64 {
+	var max int64
+	for _, op := range chain {
+		for _, o := range op.Outputs {
+			if o == t {
+				continue
+			}
+			if b := o.Bytes(); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}
+
+// chainCost sums the profiled forward time of a recompute chain.
+func chainCost(chain []*graph.Op, prof *profiler.Profile) float64 {
+	var s float64
+	for _, op := range chain {
+		s += prof.T[prof.Sched.Index[op]]
+	}
+	return s
+}
+
+// backwardUses counts t's consumers at or after restoreAt — under the
+// memory-centric recomputation strategy (paper Sec. V-D) each pays the
+// chain cost again.
+func backwardUses(t *graph.Tensor, sched *graph.Schedule, restoreAt int) int {
+	n := 0
+	for _, c := range t.Consumers {
+		if sched.Index[c] >= restoreAt {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

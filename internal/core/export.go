@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tsplit/internal/graph"
+)
+
+// PlanJSON is the serialized form of a plan — the artifact a framework
+// integration consumes to add the extra split/swap/regenerate
+// operators to a PyTorch or TensorFlow program (paper Sec. VI-D:
+// "the augmented dataflow graph of TSPLIT can be converted into the
+// executable model").
+type PlanJSON struct {
+	Policy   string           `json:"policy"`
+	Device   string           `json:"device"`
+	Tensors  []TensorPlanJSON `json:"tensors"`
+	Splits   []OpSplitJSON    `json:"splits"`
+	Offload  bool             `json:"offload_optimizer,omitempty"`
+	Sharded  bool             `json:"shard_params,omitempty"`
+	PeakGiB  float64          `json:"predicted_peak_gib,omitempty"`
+	TimeSecs float64          `json:"predicted_time_seconds,omitempty"`
+}
+
+// TensorPlanJSON serializes one sTensor memory option.
+type TensorPlanJSON struct {
+	Tensor       string `json:"tensor"`
+	Bytes        int64  `json:"bytes"`
+	Opt          string `json:"opt"`
+	EvictAt      int    `json:"evict_at"`
+	PrefetchAt   int    `json:"prefetch_at,omitempty"`
+	RestoreAt    int    `json:"restore_at"`
+	MicroRestore int    `json:"micro_restore,omitempty"`
+}
+
+// OpSplitJSON serializes one operator split configuration.
+type OpSplitJSON struct {
+	Op       string   `json:"op"`
+	PNum     int      `json:"p_num"`
+	Dim      string   `json:"dim"`
+	InOpt    string   `json:"in_opt"`
+	EarlyOut bool     `json:"early_out,omitempty"`
+	MicroIns []string `json:"micro_restored_inputs,omitempty"`
+}
+
+// ExportJSON writes the plan as indented JSON, deterministically
+// ordered by schedule-independent ids.
+func ExportJSON(w io.Writer, p *Plan) error {
+	out := PlanJSON{
+		Policy: p.Name, Device: p.Dev.Name,
+		Offload: p.OffloadOptimizer, Sharded: p.ShardParams,
+		PeakGiB:  float64(p.PredictedPeak) / (1 << 30),
+		TimeSecs: p.PredictedTime,
+	}
+	ids := make([]int, 0, len(p.Tensors))
+	for id := range p.Tensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tp := p.Tensors[id]
+		out.Tensors = append(out.Tensors, TensorPlanJSON{
+			Tensor: tp.Tensor.Name, Bytes: tp.Tensor.Bytes(),
+			Opt: tp.Opt.String(), EvictAt: tp.EvictAt,
+			PrefetchAt: tp.PrefetchAt, RestoreAt: tp.RestoreAt,
+			MicroRestore: tp.MicroRestore,
+		})
+	}
+	opIDs := make([]int, 0, len(p.Splits))
+	for id := range p.Splits {
+		opIDs = append(opIDs, id)
+	}
+	sort.Ints(opIDs)
+	for _, id := range opIDs {
+		sp := p.Splits[id]
+		sj := OpSplitJSON{
+			Op: sp.Op.Name, PNum: sp.PNum, Dim: sp.Dim.String(),
+			InOpt: sp.InOpt.String(), EarlyOut: sp.EarlyOut,
+		}
+		for _, t := range sp.MicroIns {
+			sj.MicroIns = append(sj.MicroIns, t.Name)
+		}
+		out.Splits = append(out.Splits, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DOT renders the augmented graph in Graphviz format for inspection of
+// the Fig. 10 rewrite: memory operators are colored (swap-out red,
+// swap-in green, split/merge blue, recompute orange), control edges
+// are dashed.
+func (a *Augmented) DOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph tsplit {\n  rankdir=LR;\n  node [shape=box, fontsize=9];"); err != nil {
+		return err
+	}
+	color := func(k graph.OpKind) string {
+		switch k {
+		case graph.SwapOut:
+			return "indianred1"
+		case graph.SwapIn:
+			return "palegreen"
+		case graph.SplitOp, graph.MergeOp:
+			return "lightskyblue"
+		case graph.Recompute:
+			return "orange"
+		default:
+			return "white"
+		}
+	}
+	for _, op := range a.G.Ops {
+		fmt.Fprintf(w, "  op%d [label=%q, style=filled, fillcolor=%q];\n", op.ID, op.Name, color(op.Kind))
+	}
+	for _, op := range a.G.Ops {
+		seen := map[int]bool{}
+		for _, in := range op.Inputs {
+			if p := in.Producer; p != nil && !seen[p.ID] {
+				seen[p.ID] = true
+				fmt.Fprintf(w, "  op%d -> op%d [label=%q, fontsize=7];\n", p.ID, op.ID, in.Name)
+			}
+		}
+		for _, dep := range op.ControlDeps {
+			fmt.Fprintf(w, "  op%d -> op%d [style=dashed, color=gray];\n", dep.ID, op.ID)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tsplit/internal/models"
+)
+
+func TestExportJSONRoundTrips(t *testing.T) {
+	tb := newTestbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := tb.plan(t, Options{Capacity: tb.lv.Peak * 60 / 100, FragmentationReserve: -1})
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	var back PlanJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back.Policy != "tsplit" || back.Device != "TITAN RTX" {
+		t.Fatalf("header wrong: %+v", back)
+	}
+	if len(back.Tensors) != len(plan.Tensors) {
+		t.Fatalf("serialized %d tensors of %d", len(back.Tensors), len(plan.Tensors))
+	}
+	for _, tp := range back.Tensors {
+		if tp.Opt != "swap" && tp.Opt != "recompute" {
+			t.Fatalf("unexpected opt %q", tp.Opt)
+		}
+		if tp.Bytes <= 0 {
+			t.Fatalf("tensor %s has no size", tp.Tensor)
+		}
+	}
+}
+
+func TestExportJSONDeterministic(t *testing.T) {
+	tb := newTestbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := tb.plan(t, Options{Capacity: tb.lv.Peak * 60 / 100, FragmentationReserve: -1})
+	var a, b bytes.Buffer
+	if err := ExportJSON(&a, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportJSON(&b, plan); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("export is not deterministic")
+	}
+}
+
+func TestAugmentedDOT(t *testing.T) {
+	_, _, ag := augment(t, "vgg16", models.Config{BatchSize: 64}, 60)
+	var buf bytes.Buffer
+	if err := ag.DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph tsplit {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	if !strings.Contains(out, "indianred1") || !strings.Contains(out, "palegreen") {
+		t.Fatal("memory operators not rendered")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Fatal("control edges not rendered")
+	}
+}

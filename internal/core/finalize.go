@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/profiler"
+)
+
+// FinalizeWindows fills in the eviction/restore/prefetch schedule
+// positions for every planned tensor whose producer only chose a
+// memory option — the baseline planners (vDNN, Checkpoints,
+// SuperNeurons, the offload baselines) decide *what* to evict by
+// static rules, and this shared pass derives *when*, using the same
+// occupancy simulation as TSPLIT's planner so the comparison is about
+// policy, not plumbing.
+//
+// The eviction window is the largest gap between consecutive uses of
+// the tensor in the schedule — for feature maps that is exactly the
+// forward-to-backward gap the out-of-core literature exploits.
+func FinalizeWindows(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, prof *profiler.Profile, plan *Plan) {
+	occ := profiler.NewOccupancy(prof)
+
+	ids := make([]int, 0, len(plan.Tensors))
+	for id := range plan.Tensors {
+		ids = append(ids, id)
+	}
+	// Process in production order so swap-out bandwidth is booked in
+	// the order the runtime will issue the copies.
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := plan.Tensors[ids[a]].Tensor, plan.Tensors[ids[b]].Tensor
+		return lv.FirstUse[ta] < lv.FirstUse[tb]
+	})
+
+	for _, id := range ids {
+		tp := plan.Tensors[id]
+		t := tp.Tensor
+		points := uses(t, sched)
+		prod := lv.FirstUse[t]
+		if prod < 0 {
+			prod = 0
+		}
+		points = append([]int{prod}, points...)
+
+		evictAt, restoreAt, gap := -1, -1, 0
+		for k := 0; k+1 < len(points); k++ {
+			if g := points[k+1] - points[k]; g > gap {
+				gap = g
+				evictAt, restoreAt = points[k], points[k+1]
+			}
+		}
+		if restoreAt == -1 || gap < 2 {
+			// No gap worth evicting across: drop the decision.
+			delete(plan.Tensors, id)
+			continue
+		}
+		tp.EvictAt = evictAt
+		tp.RestoreAt = restoreAt
+		tp.PrefetchAt = restoreAt
+		if tp.Opt == Swap {
+			transfer := prof.TransferTime(t.Bytes())
+			occ.Reserve(transfer, evictAt+1, restoreAt-1)
+			start, leftover := occ.ReserveBack(transfer, evictAt+1, restoreAt-1)
+			if leftover > 0 {
+				start = prof.WindowStart(restoreAt, transfer)
+				if start <= evictAt {
+					start = evictAt + 1
+				}
+			}
+			tp.PrefetchAt = start
+		}
+		plan.Tensors[id] = tp
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+// MemSim evaluates the per-operation device memory requirement of a
+// schedule under a plan — the M_i - ΔM_i(C) term of paper Eq. 1. It is
+// the planner's inner feasibility oracle and is also used to produce
+// the memory-timeline figures (paper Fig. 2(a), Fig. 4(b)).
+type MemSim struct {
+	G     *graph.Graph
+	Sched *graph.Schedule
+	Lv    *graph.Liveness
+}
+
+// NewMemSim builds the simulator from a graph and its schedule.
+func NewMemSim(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness) *MemSim {
+	return &MemSim{G: g, Sched: sched, Lv: lv}
+}
+
+// span is one device-residency interval of a tensor with the bytes it
+// occupies there (micro-restored tensors occupy a fraction).
+type span struct {
+	a, b  int
+	bytes int64
+}
+
+// residency returns the device-residency spans of tensor t under the
+// plan. Most tensors have one span; evicted tensors have two (before
+// eviction, after restore); sharded parameters have one per consumer.
+func (ms *MemSim) residency(t *graph.Tensor, p *Plan) []span {
+	n := len(ms.Sched.Ops)
+	first := ms.Lv.FirstUse[t]
+	last := ms.Lv.LastUse[t]
+	if first == -1 {
+		first = 0
+		last = n - 1
+	}
+
+	b := t.Bytes()
+
+	// Offload-baseline special cases (ZeRO-Offload, FairScale-Offload).
+	switch t.Kind {
+	case tensor.OptState:
+		if p.OffloadOptimizer {
+			return nil // lives in host memory; updates run on CPU
+		}
+	case tensor.ParamGrad:
+		if p.OffloadOptimizer {
+			// Streamed to host as soon as produced.
+			prod := ms.Lv.FirstUse[t]
+			if prod >= 0 {
+				return []span{{prod, prod, b}}
+			}
+			return nil
+		}
+	case tensor.Parameter:
+		if p.ShardParams {
+			// Staged in right before each consumer and evicted after.
+			var iv []span
+			for _, c := range t.Consumers {
+				i := ms.Sched.Index[c]
+				a := i - 1
+				if a < 0 {
+					a = 0
+				}
+				if k := len(iv); k > 0 && iv[k-1].b >= a-1 {
+					iv[k-1].b = i
+					continue
+				}
+				iv = append(iv, span{a, i, b})
+			}
+			return iv
+		}
+	}
+
+	tp, ok := p.Tensors[t.ID]
+	if !ok || tp.Opt == Reside {
+		return []span{{first, last, b}}
+	}
+	// Evicted after EvictAt; back on device from the prefetch (swap) or
+	// the restoring consumer (recompute) to the last use.
+	iv := []span{{first, tp.EvictAt, b}}
+	if tp.RestoreAt >= 0 && tp.RestoreAt <= last {
+		back := tp.RestoreAt
+		if tp.Opt == Swap && tp.PrefetchAt >= 0 && tp.PrefetchAt < back {
+			back = tp.PrefetchAt
+		}
+		if back <= tp.EvictAt {
+			back = tp.EvictAt + 1
+		}
+		restored := b
+		if tp.MicroRestore > 1 {
+			// Streamed into its split consumer one micro-tensor at a
+			// time: only a fraction is ever resident again.
+			restored = b / int64(tp.MicroRestore)
+			back = tp.RestoreAt // no whole-tensor prefetch window
+		}
+		if back <= last {
+			iv = append(iv, span{back, last, restored})
+		}
+	}
+	return iv
+}
+
+// Curve returns the memory requirement at every schedule index under
+// the plan, the peak, and its index.
+func (ms *MemSim) Curve(p *Plan) (memAt []int64, peak int64, peakIdx int) {
+	n := len(ms.Sched.Ops)
+	delta := make([]int64, n+1)
+	for _, t := range ms.G.Tensors {
+		for _, iv := range ms.residency(t, p) {
+			delta[iv.a] += iv.bytes
+			delta[iv.b+1] -= iv.bytes
+		}
+		if tp, ok := p.Tensors[t.ID]; ok && tp.Opt == Recompute && tp.ChainBytes > 0 {
+			// Each backward consumer re-runs the chain; its transient
+			// intermediates occupy the device at that point.
+			for _, c := range t.Consumers {
+				if u := ms.Sched.Index[c]; u >= tp.RestoreAt {
+					delta[u] += tp.ChainBytes
+					delta[u+1] -= tp.ChainBytes
+				}
+			}
+		}
+	}
+	memAt = make([]int64, n)
+	var run int64
+	for i := 0; i < n; i++ {
+		run += delta[i]
+		memAt[i] = run + ms.opFootprintAdjustment(ms.Sched.Ops[i], p)
+		if memAt[i] > peak {
+			peak = memAt[i]
+			peakIdx = i
+		}
+	}
+	return memAt, peak, peakIdx
+}
+
+// opFootprintAdjustment returns the op's own execution footprint on
+// top of the interval-based live set: the full workspace when unsplit,
+// or the reduced split footprint delta when the op is split.
+func (ms *MemSim) opFootprintAdjustment(op *graph.Op, p *Plan) int64 {
+	sp, ok := p.Splits[op.ID]
+	if !ok {
+		return op.Workspace
+	}
+	return splitAdjustment(op, sp)
+}
+
+// splitAdjustment computes the footprint delta of executing op under a
+// split configuration, relative to the interval accounting that has
+// already charged the full inputs and outputs as live.
+//
+// The worst micro-step k needs: (p-k+1)/p of the carved input(s) (when
+// input micro-tensors are evicted as consumed), k/p of the carved
+// output (micro-outputs accumulate until the merge), the full size of
+// any reduction outputs (e.g. the weight-gradient accumulator of a
+// sample-split convolution backward), and 1/p of the workspace. The
+// adjustment is that maximum minus the full charges it replaces.
+func splitAdjustment(op *graph.Op, sp OpSplit) int64 {
+	in, out := SplitTensors(op, sp.Dim)
+	if in == nil || out == nil {
+		return op.Workspace
+	}
+	inB := in.Bytes()
+	if sp.In2 != nil {
+		inB += sp.In2.Bytes()
+	}
+	carvedB := out.Bytes()
+	pn := int64(sp.PNum)
+	ws := op.Workspace / pn
+	mode := MergeModeFor(op, sp)
+	var peakStep int64
+	for k := int64(1); k <= pn; k++ {
+		var step int64
+		if sp.InOpt != Reside {
+			step = inB * (pn - k + 1) / pn
+		} else {
+			step = inB
+		}
+		switch mode {
+		case MergeRestoreInPlace:
+			// The output region doubles as the restore slots: full
+			// size from the start, but nothing else.
+			step += carvedB
+		default:
+			step += carvedB * k / pn
+			if k == pn && mode == MergePhysical {
+				// A physical merge briefly needs the output twice.
+				step += carvedB
+			}
+		}
+		if step > peakStep {
+			peakStep = step
+		}
+	}
+	return peakStep + ws - inB - carvedB
+}
+
+// MergeMode describes how the split runtime reassembles the output
+// micro-tensors.
+type MergeMode int
+
+const (
+	// MergePhysical copies the scattered micro-outputs into a fresh
+	// full-size block (transiently 2× output).
+	MergePhysical MergeMode = iota
+	// MergeCarveInPlace stages each micro-output into the just-freed
+	// slot of the carved (discarded) input — paper Fig. 8's memory
+	// reuse between inputs and outputs. Requires immediate input frees
+	// and output ≤ input.
+	MergeCarveInPlace
+	// MergeRestoreInPlace streams a same-size micro-restored input
+	// through the output region itself: slice k of the saved tensor is
+	// staged into slot k, consumed, and overwritten by micro-output k.
+	// The classic case is a backward operator whose dX has exactly the
+	// shape of its saved X.
+	MergeRestoreInPlace
+)
+
+// MergeModeFor classifies the split configuration.
+func MergeModeFor(op *graph.Op, sp OpSplit) MergeMode {
+	in, out := SplitTensors(op, sp.Dim)
+	if in == nil || out == nil {
+		return MergePhysical
+	}
+	if sp.InOpt == Recompute && out.Bytes() <= in.Bytes() {
+		return MergeCarveInPlace
+	}
+	for _, t := range sp.MicroIns {
+		if t.Bytes() == out.Bytes() {
+			return MergeRestoreInPlace
+		}
+	}
+	return MergePhysical
+}
+
+// RestoreStageTensor returns the micro-restored input whose slices
+// share the output region under MergeRestoreInPlace.
+func RestoreStageTensor(op *graph.Op, sp OpSplit) *graph.Tensor {
+	_, out := SplitTensors(op, sp.Dim)
+	if out == nil {
+		return nil
+	}
+	for _, t := range sp.MicroIns {
+		if t.Bytes() == out.Bytes() {
+			return t
+		}
+	}
+	return nil
+}
+
+// PeakUnder reports whether the plan fits the device capacity at every
+// operation (the constraint of paper Eq. 1).
+func (ms *MemSim) PeakUnder(p *Plan, capacity int64) bool {
+	_, peak, _ := ms.Curve(p)
+	return peak <= capacity
+}

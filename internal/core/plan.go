@@ -1,0 +1,222 @@
+// Package core implements TSPLIT's contribution: the joint planning of
+// tensor splitting with out-of-core memory management (swap and
+// recompute). It contains the sTensor configuration model (paper
+// Sec. V-A), the analytic cost models for each strategy (Sec. IV-B,
+// Eqs. 2-6), the model-guided greedy planner (Sec. IV-C, Algorithm 2),
+// the plan-aware memory simulation it iterates over, and the
+// augmented-graph rewrite that materializes a plan as an executable
+// dataflow graph with split / merge / swap / recompute operators and
+// control-flow edges (Sec. V-A, Fig. 10).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+// MemOpt is the per-tensor memory option of an sTensor configuration
+// (paper Fig. 9: "memory option (reside/swap/recompute)").
+type MemOpt int
+
+const (
+	// Reside keeps the tensor on device for its whole lifetime.
+	Reside MemOpt = iota
+	// Swap evicts the tensor to host memory after its last forward use
+	// and prefetches it back before its first backward use.
+	Swap
+	// Recompute drops the tensor after its last forward use and
+	// re-executes its producing subgraph in the backward pass.
+	Recompute
+)
+
+// String names the option as in the paper.
+func (m MemOpt) String() string {
+	switch m {
+	case Reside:
+		return "reside"
+	case Swap:
+		return "swap"
+	case Recompute:
+		return "recompute"
+	default:
+		return fmt.Sprintf("memopt(%d)", int(m))
+	}
+}
+
+// TensorPlan is the planner's decision for one tensor: the sTensor
+// config of paper Fig. 9 plus the prefetch position the occupancy
+// simulation chose for swap-in.
+type TensorPlan struct {
+	Tensor *graph.Tensor
+	Opt    MemOpt
+	// EvictAt is the schedule index after which the tensor leaves the
+	// device (its last forward use).
+	EvictAt int
+	// RestoreAt is the schedule index of the first consumer that needs
+	// the tensor back (first backward use).
+	RestoreAt int
+	// PrefetchAt is the schedule index at which the swap-in should be
+	// issued so the transfer hides under computation (swap only).
+	PrefetchAt int
+	// MicroRestore, when non-zero, restores the tensor in that many
+	// micro-tensors streamed one at a time into its (split) consumer,
+	// so only size/MicroRestore bytes re-occupy the device — the
+	// micro-granular swap-in enabled by the split of the consuming
+	// operator (paper Sec. III-A).
+	MicroRestore int
+	// ChainBytes estimates the transient device memory a regeneration
+	// of this tensor needs for chain intermediates (recompute only);
+	// the memory simulation charges it at every backward consumer.
+	ChainBytes int64
+}
+
+// OpSplit is the planner's split decision for one operator: the
+// (p_num, dim) of the sTensor config applied to the operator's
+// activation input and output, plus the memory option applied
+// uniformly to the input micro-tensors ("we make consistent memory
+// options for the micro-tensors inside a tensor", Sec. IV-C).
+type OpSplit struct {
+	Op   *graph.Op
+	PNum int
+	Dim  tensor.SplitDim
+	// InOpt is what happens to each input micro-tensor right after the
+	// micro-operator consumes it: Swap streams it to host, Recompute
+	// drops it (it will be re-produced for the backward pass), Reside
+	// keeps it (split then only pipelines the output).
+	InOpt MemOpt
+	// EarlyOut streams each output micro-tensor to host as soon as it
+	// is produced (the paper's "early swapping of output tensors at
+	// micro-tensor granularity"), overlapping PCIe with the remaining
+	// micro-operators; the device copy is still freed only after its
+	// last forward use.
+	EarlyOut bool
+	// In2 is a second carved activation input (binary operators such
+	// as Add and the gradient-accumulation adds), nil otherwise. It
+	// receives the same InOpt treatment as the primary input.
+	In2 *graph.Tensor
+	// MicroIns are swapped-out inputs of this operator (typically the
+	// saved activations of a backward op) that are streamed back in at
+	// micro-tensor granularity instead of being restored whole; their
+	// TensorPlan carries the matching MicroRestore count.
+	MicroIns []*graph.Tensor
+}
+
+// Plan is a complete memory-management strategy configuration C of
+// paper Eq. 1 for one graph/schedule/device triple.
+type Plan struct {
+	// Name identifies the policy that produced the plan ("tsplit",
+	// "vdnn-all", ...).
+	Name string
+	// Dev is the device the plan was made for.
+	Dev device.Device
+	// Tensors maps tensor ID to its non-reside decision. Absent means
+	// reside.
+	Tensors map[int]TensorPlan
+	// Splits maps op ID to its split decision. Absent means unsplit.
+	Splits map[int]OpSplit
+
+	// OffloadOptimizer moves optimizer state and the parameter update
+	// computation to the CPU (ZeRO-Offload): optimizer state never
+	// occupies device memory and parameter gradients stream out as
+	// produced.
+	OffloadOptimizer bool
+	// ShardParams keeps parameters in host memory and stages each
+	// layer's parameters in and out around their uses
+	// (FairScale-Offload).
+	ShardParams bool
+
+	// PredictedTime is the planner's estimate of one iteration in
+	// seconds (T + ΔT(C)); zero when the producer does not predict.
+	PredictedTime float64
+	// PredictedPeak is the planner's estimate of peak device memory.
+	PredictedPeak int64
+}
+
+// NewPlan returns an empty (all-reside) plan.
+func NewPlan(name string, dev device.Device) *Plan {
+	return &Plan{
+		Name:    name,
+		Dev:     dev,
+		Tensors: make(map[int]TensorPlan),
+		Splits:  make(map[int]OpSplit),
+	}
+}
+
+// TensorOpt returns the memory option for t (Reside by default).
+func (p *Plan) TensorOpt(t *graph.Tensor) MemOpt {
+	if tp, ok := p.Tensors[t.ID]; ok {
+		return tp.Opt
+	}
+	return Reside
+}
+
+// SplitFor returns the split decision for op, if any.
+func (p *Plan) SplitFor(op *graph.Op) (OpSplit, bool) {
+	s, ok := p.Splits[op.ID]
+	return s, ok
+}
+
+// Counts reports how many tensors use each option and how many ops are
+// split — the summary Fig. 14(b) style reports use.
+type Counts struct {
+	Reside, Swap, Recompute, SplitOps int
+	SwapBytes, RecomputeBytes         int64
+}
+
+// Counts summarizes the plan.
+func (p *Plan) Counts() Counts {
+	var c Counts
+	for _, tp := range p.Tensors {
+		switch tp.Opt {
+		case Swap:
+			c.Swap++
+			c.SwapBytes += tp.Tensor.Bytes()
+		case Recompute:
+			c.Recompute++
+			c.RecomputeBytes += tp.Tensor.Bytes()
+		}
+	}
+	c.SplitOps = len(p.Splits)
+	return c
+}
+
+// String renders a human-readable plan summary (full dumps come from
+// Describe).
+func (p *Plan) String() string {
+	c := p.Counts()
+	return fmt.Sprintf("plan %s on %s: %d swapped (%.1f MiB), %d recomputed (%.1f MiB), %d split ops",
+		p.Name, p.Dev.Name, c.Swap, float64(c.SwapBytes)/(1<<20), c.Recompute, float64(c.RecomputeBytes)/(1<<20), c.SplitOps)
+}
+
+// Describe renders the full decision list, ordered by tensor ID, for
+// plan inspection tooling (cmd/tsplit-plan).
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, p.String())
+	ids := make([]int, 0, len(p.Tensors))
+	for id := range p.Tensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tp := p.Tensors[id]
+		fmt.Fprintf(&b, "  %-9s %-40s %8.1f MiB evict@%d restore@%d prefetch@%d\n",
+			tp.Opt, tp.Tensor.Name, float64(tp.Tensor.Bytes())/(1<<20), tp.EvictAt, tp.RestoreAt, tp.PrefetchAt)
+	}
+	opIDs := make([]int, 0, len(p.Splits))
+	for id := range p.Splits {
+		opIDs = append(opIDs, id)
+	}
+	sort.Ints(opIDs)
+	for _, id := range opIDs {
+		s := p.Splits[id]
+		fmt.Fprintf(&b, "  split     %-40s p_num=%d dim=%s in=%s early-out=%v\n",
+			s.Op.Name, s.PNum, s.Dim, s.InOpt, s.EarlyOut)
+	}
+	return b.String()
+}

@@ -1,0 +1,655 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/profiler"
+	"tsplit/internal/tensor"
+)
+
+// Options tunes the planner. The zero value is the paper's
+// configuration: split enabled, p_num searched over powers of two,
+// recompute chains bounded.
+type Options struct {
+	// Capacity overrides the device memory budget (0 = dev.MemBytes).
+	// Experiments use it to emulate memory over-subscription.
+	Capacity int64
+	// DisableSplit turns off the tensor-splitting strategy — the
+	// "TSPLIT w/o Split" ablation of paper Fig. 14(a).
+	DisableSplit bool
+	// PNums is the split-count search space (default 2,4,8,16,32).
+	PNums []int
+	// MaxRecomputeChain bounds the forward subgraph a recompute may
+	// re-execute (default 24 ops).
+	MaxRecomputeChain int
+	// DisableEarlyOut turns off the micro-tensor early swap-out
+	// refinement (ablation).
+	DisableEarlyOut bool
+	// MaxIterations bounds planning work (default 20000 decisions).
+	MaxIterations int
+	// FragmentationReserve is headroom subtracted from the capacity
+	// the planner targets, absorbing allocator fragmentation and
+	// transient regeneration buffers at run time (default
+	// max(256 MiB, 3% of capacity); negative disables).
+	FragmentationReserve int64
+	// OffloadOptimizer composes TSPLIT's activation planning with
+	// CPU-side optimizer state and updates (the configuration used for
+	// the PyTorch offload comparison, paper Sec. VI-D).
+	OffloadOptimizer bool
+
+	// --- ablation knobs (DESIGN.md §4) ---
+
+	// PreferLargest replaces the greedy min-ΔT/ΔM selection with a
+	// largest-ΔM-first heuristic (ablation 1).
+	PreferLargest bool
+	// DisableRecompute restricts Step 1 to swapping (ablation 1's
+	// swap-only variant).
+	DisableRecompute bool
+	// SplitLookahead is how many schedule positions past the
+	// bottleneck split candidates are considered at (default 8;
+	// ablation 3 sets it negative to disable the lookahead).
+	SplitLookahead int
+	// DisableGenTieBreak turns off the earlier-generated-tensor
+	// preference on near-tied ratios (ablation 4).
+	DisableGenTieBreak bool
+}
+
+func (o Options) withDefaults(dev device.Device) Options {
+	if o.Capacity == 0 {
+		o.Capacity = dev.MemBytes
+	}
+	if o.FragmentationReserve == 0 {
+		o.FragmentationReserve = o.Capacity * 3 / 100
+		if o.FragmentationReserve < 256*(1<<20) {
+			o.FragmentationReserve = 256 * (1 << 20)
+		}
+	}
+	if o.FragmentationReserve > 0 {
+		o.Capacity -= o.FragmentationReserve
+	}
+	if len(o.PNums) == 0 {
+		o.PNums = []int{2, 4, 8, 16, 32}
+	}
+	if o.MaxRecomputeChain == 0 {
+		o.MaxRecomputeChain = 24
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 20000
+	}
+	if o.SplitLookahead == 0 {
+		o.SplitLookahead = 8
+	}
+	if o.SplitLookahead < 0 {
+		o.SplitLookahead = 0
+	}
+	return o
+}
+
+// Planner implements the model-guided planning of paper Algorithm 2:
+// simulate the memory requirement along the schedule; at each memory
+// bottleneck score every candidate action — swap or recompute of a
+// live tensor (Step 1), or a split of the bottleneck operator jointly
+// with micro-tensor eviction (Step 2) — by its ΔT/ΔM ratio, commit the
+// cheapest (Step 3), and repeat until the whole schedule fits the
+// device.
+type Planner struct {
+	G     *graph.Graph
+	Sched *graph.Schedule
+	Lv    *graph.Liveness
+	Prof  *profiler.Profile
+	Dev   device.Device
+	Opts  Options
+
+	ms        *MemSim
+	occ       *profiler.Occupancy
+	plan      *Plan
+	extraTime float64
+	// swapStall remembers the unhidden swap-out time per tensor ID so
+	// the early-out refinement knows where splitting a producer helps.
+	swapStall map[int]float64
+}
+
+// NewPlanner assembles a planner for one (graph, schedule, device).
+func NewPlanner(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, prof *profiler.Profile, dev device.Device, opts Options) *Planner {
+	return &Planner{
+		G: g, Sched: sched, Lv: lv, Prof: prof, Dev: dev,
+		Opts: opts.withDefaults(dev),
+		ms:   NewMemSim(g, sched, lv),
+	}
+}
+
+// candidate is one scored planning action.
+type candidate struct {
+	// ratio is ΔT/ΔM, the greedy key (seconds per byte).
+	ratio   float64
+	deltaT  float64
+	deltaM  int64
+	genIdx  int // production index, for the earlier-tensor tie-break
+	apply   func()
+	isSplit bool
+}
+
+// ErrInfeasible is returned when no remaining action can break a
+// memory bottleneck — the configuration cannot train (the × entries of
+// the paper's Tables IV/V).
+var ErrInfeasible = fmt.Errorf("core: no strategy can fit the schedule in device memory")
+
+// Plan runs Algorithm 2 and returns the strategy configuration. On
+// failure the partial plan built so far is returned alongside the
+// error, for diagnostics.
+func (pl *Planner) Plan() (*Plan, error) {
+	pl.plan = NewPlan("tsplit", pl.Dev)
+	if pl.Opts.DisableSplit {
+		pl.plan.Name = "tsplit-nosplit"
+	}
+	if pl.Opts.OffloadOptimizer {
+		pl.plan.Name = "tsplit-offload"
+		pl.plan.OffloadOptimizer = true
+	}
+	pl.occ = profiler.NewOccupancy(pl.Prof)
+	pl.swapStall = make(map[int]float64)
+	cap := pl.Opts.Capacity
+
+	for iter := 0; ; iter++ {
+		if iter >= pl.Opts.MaxIterations {
+			return pl.plan, fmt.Errorf("core: planning did not converge in %d iterations", iter)
+		}
+		pl.refreshChains()
+		memAt, peak, _ := pl.ms.Curve(pl.plan)
+		if peak <= cap {
+			break
+		}
+		// First bottleneck position (Algorithm 2 walks the schedule).
+		i := 0
+		for ; i < len(memAt); i++ {
+			if memAt[i] > cap {
+				break
+			}
+		}
+		best := pl.bestCandidate(i)
+		if best == nil {
+			return pl.plan, fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
+				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAt[i]-cap)/(1<<20))
+		}
+		best.apply()
+		pl.extraTime += best.deltaT
+	}
+
+	if !pl.Opts.DisableSplit && !pl.Opts.DisableEarlyOut {
+		pl.earlyOutPass()
+	}
+	_, peak, _ := pl.ms.Curve(pl.plan)
+	pl.plan.PredictedPeak = peak
+	pl.plan.PredictedTime = pl.Prof.Total() + pl.extraTime
+	return pl.plan, nil
+}
+
+// refreshChains recomputes the transient-memory estimate of every
+// recompute decision against the *current* plan: a chain recorded
+// earlier may have grown because a tensor it sourced from was itself
+// evicted by a later decision.
+func (pl *Planner) refreshChains() {
+	for id, tp := range pl.plan.Tensors {
+		if tp.Opt != Recompute {
+			continue
+		}
+		chain, err := RecomputeChain(tp.Tensor, availFn(pl.plan, pl.Lv, tp.RestoreAt), len(pl.G.Ops))
+		if err != nil {
+			continue
+		}
+		tp.ChainBytes = chainTransientBytes(chain, tp.Tensor)
+		pl.plan.Tensors[id] = tp
+	}
+}
+
+// better implements the greedy preference: smaller ΔT/ΔM wins, and on
+// near-ties the earlier-generated tensor wins (the paper's key
+// observation: swapping an earlier-generated tensor starts its
+// transfer sooner and holds the reduction longer). The ablation knobs
+// switch to largest-ΔM-first or disable the tie-break.
+func (pl *Planner) better(a, b *candidate) bool {
+	if b == nil {
+		return true
+	}
+	if pl.Opts.PreferLargest {
+		if a.deltaM != b.deltaM {
+			return a.deltaM > b.deltaM
+		}
+		return a.genIdx < b.genIdx
+	}
+	// Ratios are seconds-per-byte (~1e-12 for interesting candidates),
+	// so the tie window must be relative, not absolute.
+	const tieAbs = 1e-16
+	lo, hi := a.ratio, b.ratio
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo > tieAbs && lo < 0.99*hi {
+		return a.ratio < b.ratio
+	}
+	if pl.Opts.DisableGenTieBreak {
+		return a.ratio < b.ratio
+	}
+	return a.genIdx < b.genIdx
+}
+
+// bestCandidate scores Step 1 (swap/recompute of live tensors) and
+// Step 2 (split of the bottleneck op) and returns the winner of Step 3.
+func (pl *Planner) bestCandidate(i int) *candidate {
+	var best *candidate
+	for _, t := range pl.G.Tensors {
+		if c := pl.scoreEvict(t, i); c != nil && pl.better(c, best) {
+			best = c
+		}
+	}
+	if !pl.Opts.DisableSplit {
+		// The memory rise at i is often caused by prefetches for a
+		// consumer a few positions later (its restored saved
+		// activations), so splitting any op in a short lookahead window
+		// can break the bottleneck at i.
+		for j := i; j < len(pl.Sched.Ops) && j <= i+pl.Opts.SplitLookahead; j++ {
+			if c := pl.scoreSplit(j); c != nil && pl.better(c, best) {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// scoreEvict scores swap vs recompute for one live tensor at
+// bottleneck i (paper Eqs. 2-5) and returns the cheaper, or nil when t
+// is not a candidate.
+func (pl *Planner) scoreEvict(t *graph.Tensor, i int) *candidate {
+	if !t.Kind.Evictable() {
+		return nil
+	}
+	if _, planned := pl.plan.Tensors[t.ID]; planned {
+		return nil
+	}
+	evictAt, restoreAt, ok := evictionWindow(t, pl.Sched, pl.Lv, i)
+	if !ok {
+		return nil
+	}
+	size := t.Bytes()
+	transfer := pl.Prof.TransferTime(size)
+
+	// Swap (Eq. 3): unhidden transfer time out (between the tensor's
+	// last use and the bottleneck) plus in (between the bottleneck and
+	// the restoring consumer).
+	stallOut := pl.occ.Stall(transfer, evictAt+1, i-1)
+	stallIn := pl.occ.Stall(transfer, i, restoreAt-1)
+	swapT := stallOut + stallIn
+
+	// Recompute (Eq. 5): chain cost per backward consumer
+	// (memory-centric strategy).
+	recompT := math.Inf(1)
+	var chainBytes int64
+	if t.Kind == tensor.FeatureMap && !pl.Opts.DisableRecompute {
+		if chain, err := RecomputeChain(t, availFn(pl.plan, pl.Lv, restoreAt), pl.Opts.MaxRecomputeChain); err == nil {
+			recompT = chainCost(chain, pl.Prof) * float64(backwardUses(t, pl.Sched, restoreAt))
+			chainBytes = chainTransientBytes(chain, t)
+		}
+	}
+
+	opt, dT := Swap, swapT
+	if recompT < swapT {
+		opt, dT = Recompute, recompT
+	}
+	// Tensors whose restoring consumer is splittable can later be
+	// streamed back at micro-tensor granularity (their swap-in memory
+	// shrinks to size/p), which recompute cannot match: keep them
+	// swappable unless recompute is far cheaper.
+	if opt == Recompute && swapT <= 4*recompT+1e-6 && pl.microRestorable(t, restoreAt) {
+		opt, dT = Swap, swapT
+	}
+	gen := pl.Lv.FirstUse[t]
+	if gen < 0 {
+		gen = 0
+	}
+	c := &candidate{
+		ratio:  dT / float64(size),
+		deltaT: dT,
+		deltaM: size,
+		genIdx: gen,
+	}
+	c.apply = func() {
+		tp := TensorPlan{Tensor: t, Opt: opt, EvictAt: evictAt, RestoreAt: restoreAt, PrefetchAt: restoreAt}
+		if opt == Recompute {
+			tp.ChainBytes = chainBytes
+		}
+		if opt == Swap {
+			pl.occ.Reserve(transfer, evictAt+1, i-1)
+			start, leftover := pl.occ.ReserveBack(transfer, i, restoreAt-1)
+			if leftover > 0 {
+				// The link is saturated: the copy runs just before its
+				// deadline (stalling compute for the unhidden part)
+				// rather than spreading across the iteration, so the
+				// tensor re-occupies memory only near its use.
+				start = pl.Prof.WindowStart(restoreAt, transfer)
+				if start < i {
+					start = i
+				}
+			}
+			tp.PrefetchAt = start
+			pl.swapStall[t.ID] = stallOut
+		}
+		pl.plan.Tensors[t.ID] = tp
+	}
+	return c
+}
+
+// microRestorable reports whether t's restoring consumer could stream
+// it back in micro-tensors: the consumer is sample-splittable, shares
+// the batch axis, and is t's final use.
+func (pl *Planner) microRestorable(t *graph.Tensor, restoreAt int) bool {
+	if pl.Opts.DisableSplit || pl.Lv.LastUse[t] != restoreAt {
+		return false
+	}
+	op := pl.Sched.Ops[restoreAt]
+	_, out := SplitTensors(op, tensor.DimSample)
+	return out != nil && t.Shape.Rank() >= 1 && out.Shape.Rank() >= 1 && t.Shape[0] == out.Shape[0]
+}
+
+// scoreSplit scores splitting the bottleneck operator jointly with a
+// memory option for its input micro-tensors (paper Eq. 6), searching
+// p_num and the split dimension. An operator that is already split may
+// be upgraded to a larger p_num with the same dimension and input
+// option when the bottleneck persists.
+func (pl *Planner) scoreSplit(i int) *candidate {
+	op := pl.Sched.Ops[i]
+	cur, has := pl.plan.Splits[op.ID]
+	var best *candidate
+	for _, dim := range []tensor.SplitDim{tensor.DimSample, tensor.DimParam} {
+		if has && dim != cur.Dim {
+			continue
+		}
+		in, out := SplitTensors(op, dim)
+		if in == nil {
+			continue
+		}
+		axis := 0
+		if dim == tensor.DimParam {
+			axis = 0 // weight's output axis is axis 0 (OIHW) / last (matmul): extent check below
+			if op.Kind != graph.Conv2D && in.Shape.Rank() >= 2 {
+				axis = in.Shape.Rank() - 1
+			}
+		}
+		maxP := tensor.MaxSplit(in.Shape, axis)
+		inOpts := pl.splitInOpts(in, dim, i)
+		if has {
+			inOpts = []MemOpt{cur.InOpt}
+		}
+		for _, pnum := range pl.Opts.PNums {
+			if pnum < 2 || pnum > maxP || (has && pnum <= cur.PNum) {
+				continue
+			}
+			for _, inOpt := range inOpts {
+				if c := pl.scoreSplitConfig(op, i, in, out, dim, pnum, inOpt); c != nil && pl.better(c, best) {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// carvableSecondInput returns the second activation input of a binary
+// operator that can also be carved and freed micro-part by micro-part:
+// it must die at the bottleneck, share the batch axis, and be
+// unplanned.
+func (pl *Planner) carvableSecondInput(op *graph.Op, in, out *graph.Tensor, dim tensor.SplitDim, i int) *graph.Tensor {
+	if dim != tensor.DimSample || op.Kind != graph.Add {
+		return nil
+	}
+	for _, t := range op.Inputs {
+		if t == in || t.Kind == tensor.Parameter {
+			continue
+		}
+		if t.Shape.Rank() < 1 || out.Shape.Rank() < 1 || t.Shape[0] != out.Shape[0] {
+			continue
+		}
+		if _, planned := pl.plan.Tensors[t.ID]; planned {
+			continue
+		}
+		if _, restore, _ := evictionWindowAfter(t, pl.Sched, i); restore == -1 {
+			return t
+		}
+	}
+	return nil
+}
+
+// splitInOpts returns the feasible micro-tensor memory options for the
+// split input: eviction requires that the bottleneck is the input's
+// last forward use (later forward consumers would need it back
+// immediately) and that it is not already planned.
+func (pl *Planner) splitInOpts(in *graph.Tensor, dim tensor.SplitDim, i int) []MemOpt {
+	if dim == tensor.DimParam {
+		return []MemOpt{Reside} // the carved operand is the resident weight
+	}
+	if _, planned := pl.plan.Tensors[in.ID]; planned {
+		return []MemOpt{Reside}
+	}
+	for _, c := range in.Consumers {
+		if u := pl.Sched.Index[c]; u > i && c.Phase == graph.Forward {
+			return []MemOpt{Reside} // still needed whole in the forward pass
+		}
+	}
+	if _, restore, _ := evictionWindowAfter(in, pl.Sched, i); restore == -1 {
+		// The input dies at this operator (typical for upstream
+		// gradients in the backward pass): its micro-tensors can simply
+		// be freed as they are consumed, reusing the space for the
+		// output micro-tensors at no eviction cost.
+		return []MemOpt{Recompute, Reside}
+	}
+	if !in.Kind.Evictable() {
+		return []MemOpt{Reside}
+	}
+	return []MemOpt{Swap, Recompute, Reside}
+}
+
+// scoreSplitConfig prices one (op, p_num, dim, inOpt) configuration,
+// measuring ΔM relative to the op's current (possibly already split)
+// footprint.
+func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, dim tensor.SplitDim, pnum int, inOpt MemOpt) *candidate {
+	inB, outB := in.Bytes(), out.Bytes()
+	in2 := pl.carvableSecondInput(op, in, out, dim, i)
+
+	newSplit := OpSplit{Op: op, PNum: pnum, Dim: dim, InOpt: inOpt, In2: in2}
+	curAdj := op.Workspace
+	baseT := pl.Prof.T[i]
+	cur, has := pl.plan.Splits[op.ID]
+	if has {
+		curAdj = splitAdjustment(op, cur)
+		_, baseT = pl.Prof.Cost.SplitTimes(op, cur.PNum)
+	}
+
+	// Micro-granular swap-in: swapped inputs restored exactly for this
+	// operator can be streamed back one micro-tensor at a time, so only
+	// size/p re-occupies the device (joint split+swap optimization).
+	var microIns []*graph.Tensor
+	var microB int64
+	if dim == tensor.DimSample {
+		for _, t := range op.Inputs {
+			tp, planned := pl.plan.Tensors[t.ID]
+			if !planned || tp.Opt != Swap || tp.MicroRestore > 1 || tp.RestoreAt != i {
+				continue
+			}
+			if t.Shape.Rank() < 1 || t.Shape[0] != op.Outputs[0].Shape[0] {
+				continue
+			}
+			if pl.Lv.LastUse[t] != i {
+				continue // another consumer still needs it whole
+			}
+			microIns = append(microIns, t)
+			microB += t.Bytes()
+		}
+	}
+
+	newSplit.MicroIns = microIns
+	deltaM := curAdj - splitAdjustment(op, newSplit)
+	// Micro-restored inputs shrink from full size to size/p on the
+	// device (they were previously charged whole from their prefetch).
+	deltaM += microB - microB/int64(pnum)
+	if deltaM <= 0 {
+		return nil
+	}
+
+	// Time cost (Eq. 6): kernel degradation + merge copy + micro
+	// eviction costs.
+	_, totalSplit := pl.Prof.Cost.SplitTimes(op, pnum)
+	deltaT := totalSplit - baseT
+	if deltaT < 0 {
+		deltaT = 0
+	}
+	if effectiveKind(op) == graph.BatchNorm {
+		// Micro-tensor batch normalization needs a second pass to
+		// finalize the batch statistics before normalizing.
+		deltaT += float64(inB) / pl.Dev.MemBandwidth
+	}
+	if microB > 0 {
+		// Streaming restores hide under the micro-operators; the
+		// un-hidden remainder stalls.
+		transfer := pl.Prof.TransferTime(microB)
+		hide := totalSplit * float64(pnum-1) / float64(pnum)
+		if stall := transfer - hide; stall > 0 {
+			deltaT += stall
+		}
+	}
+	// Merge of the output micro-tensors for the (unsplit) consumer; a
+	// sample-axis carve of the input is an in-place view and free.
+	if !has {
+		deltaT += float64(outB) / pl.Dev.MemBandwidth
+		if dim == tensor.DimParam {
+			deltaT += float64(inB) / pl.Dev.MemBandwidth // strided weight carve
+		}
+	}
+
+	evictAt, restoreAt := i, -1
+	switch {
+	case has:
+		// Upgrade: the input's eviction (if any) was priced and
+		// committed with the original split decision.
+	case inOpt == Swap:
+		transfer := pl.Prof.TransferTime(inB)
+		_, restoreAt, _ = evictionWindowAfter(in, pl.Sched, i)
+		if restoreAt < 0 {
+			return nil
+		}
+		// Micro swap-outs overlap the remaining micro-operators.
+		hide := totalSplit * float64(pnum-1) / float64(pnum)
+		if stall := transfer - hide; stall > 0 {
+			deltaT += stall
+		}
+		deltaT += pl.occ.Stall(transfer, i+1, restoreAt-1)
+	case inOpt == Recompute:
+		_, restoreAt, _ = evictionWindowAfter(in, pl.Sched, i)
+		if restoreAt >= 0 {
+			chain, err := RecomputeChain(in, availFn(pl.plan, pl.Lv, restoreAt), pl.Opts.MaxRecomputeChain)
+			if err != nil {
+				return nil
+			}
+			deltaT += chainCost(chain, pl.Prof) * float64(backwardUses(in, pl.Sched, restoreAt))
+		}
+		// restoreAt == -1: the input dies here; micro-tensors are
+		// simply freed as consumed, no regeneration ever needed.
+	}
+
+	gen := pl.Lv.FirstUse[in]
+	if gen < 0 {
+		gen = 0
+	}
+	c := &candidate{
+		ratio:   deltaT / float64(deltaM),
+		deltaT:  deltaT,
+		deltaM:  deltaM,
+		genIdx:  gen,
+		isSplit: true,
+	}
+	c.apply = func() {
+		pl.plan.Splits[op.ID] = newSplit
+		for _, t := range microIns {
+			tp := pl.plan.Tensors[t.ID]
+			tp.MicroRestore = pnum
+			pl.plan.Tensors[t.ID] = tp
+		}
+		if !has && inOpt != Reside && restoreAt >= 0 {
+			tp := TensorPlan{Tensor: in, Opt: inOpt, EvictAt: evictAt, RestoreAt: restoreAt, PrefetchAt: restoreAt}
+			if inOpt == Swap {
+				transfer := pl.Prof.TransferTime(inB)
+				start, leftover := pl.occ.ReserveBack(transfer, i, restoreAt-1)
+				if leftover > 0 {
+					start = pl.Prof.WindowStart(restoreAt, transfer)
+					if start < i {
+						start = i
+					}
+				}
+				tp.PrefetchAt = start
+			}
+			pl.plan.Tensors[in.ID] = tp
+		}
+	}
+	return c
+}
+
+// evictionWindowAfter is evictionWindow specialized for the split
+// input: evicted at i (its consuming op), restored at its next use.
+func evictionWindowAfter(t *graph.Tensor, sched *graph.Schedule, i int) (evictAt, restoreAt int, ok bool) {
+	restoreAt = -1
+	for _, c := range t.Consumers {
+		if u := sched.Index[c]; u > i && (restoreAt == -1 || u < restoreAt) {
+			restoreAt = u
+		}
+	}
+	if restoreAt == -1 {
+		return 0, -1, false
+	}
+	return i, restoreAt, true
+}
+
+// earlyOutPass applies the paper's early-swap mechanism: when a
+// swapped tensor's swap-out could not be fully hidden, splitting its
+// producer lets the transfer start at micro-tensor granularity —
+// during the producer's own execution — recovering up to
+// (p-1)/p of the producer's time as additional overlap.
+func (pl *Planner) earlyOutPass() {
+	for id, stall := range pl.swapStall {
+		if stall <= 0 {
+			continue
+		}
+		tp := pl.plan.Tensors[id]
+		t := tp.Tensor
+		prod := t.Producer
+		if prod == nil {
+			continue
+		}
+		if _, already := pl.plan.Splits[prod.ID]; already {
+			continue
+		}
+		in, out := SplitTensors(prod, tensor.DimSample)
+		if in == nil || out != t {
+			continue
+		}
+		const pnum = 4
+		if tensor.MaxSplit(t.Shape, 0) < pnum {
+			continue
+		}
+		_, totalSplit := pl.Prof.Cost.SplitTimes(prod, pnum)
+		pi := pl.Sched.Index[prod]
+		degrade := totalSplit - pl.Prof.T[pi]
+		if degrade < 0 {
+			degrade = 0
+		}
+		gain := totalSplit * float64(pnum-1) / float64(pnum)
+		if gain > stall {
+			gain = stall
+		}
+		if gain <= degrade {
+			continue
+		}
+		pl.plan.Splits[prod.ID] = OpSplit{Op: prod, PNum: pnum, Dim: tensor.DimSample, InOpt: Reside, EarlyOut: true}
+		pl.extraTime -= gain - degrade
+	}
+}

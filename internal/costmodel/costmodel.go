@@ -1,0 +1,199 @@
+// Package costmodel is the analytic kernel model standing in for
+// cudaEvent profiling (paper Sec. V-B). Given an operator and a device
+// profile it predicts execution time with a roofline-style model:
+//
+//	time = kernel_launch + ramp + max(flops / peak_flops, bytes / mem_bw)
+//
+// where ramp is a fixed per-kernel occupancy ramp-up cost
+// (SaturationFLOP of lost work at peak rate). The model reproduces the
+// qualitative partition-count behaviour of paper Fig. 5:
+// compute-saturated operators tolerate splitting almost for free
+// because each micro-kernel amortizes the ramp, while tiny or
+// launch-bound operators degrade nearly linearly with the partition
+// count.
+//
+// The paper's planner consumes exactly three quantities per operator —
+// execution time, tensor sizes and transfer times — so an analytic
+// oracle with the right shape preserves the planning problem.
+package costmodel
+
+import (
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+)
+
+// Model predicts operator cost on one device.
+type Model struct {
+	Dev device.Device
+}
+
+// New returns a cost model for the device.
+func New(dev device.Device) *Model { return &Model{Dev: dev} }
+
+// FLOPs estimates the floating-point work of an operator.
+func (m *Model) FLOPs(op *graph.Op) float64 {
+	switch op.Kind {
+	case graph.Conv2D:
+		x, w, y := op.Inputs[0], op.Inputs[1], op.Outputs[0]
+		outElems := float64(y.Shape.NumElements())
+		perOut := 2 * float64(w.Shape[1]*w.Shape[2]*w.Shape[3]) // 2·inC·kH·kW
+		_ = x
+		return outElems * perOut
+	case graph.MatMul:
+		a, b := op.Inputs[0], op.Inputs[1]
+		switch a.Shape.Rank() {
+		case 2: // [N,K]×[K,M]
+			return 2 * float64(a.Shape[0]) * float64(a.Shape[1]) * float64(b.Shape[1])
+		case 3:
+			if b.Shape.Rank() == 3 { // [B,M,K]×[B,K,N]
+				return 2 * float64(a.Shape[0]) * float64(a.Shape[1]) * float64(a.Shape[2]) * float64(b.Shape[2])
+			}
+			// [N,S,K]×[K,M]
+			return 2 * float64(a.Shape[0]) * float64(a.Shape[1]) * float64(a.Shape[2]) * float64(b.Shape[1])
+		default:
+			return 2 * float64(a.Shape.NumElements())
+		}
+	case graph.ReLU, graph.Add, graph.Scale, graph.BiasAdd, graph.Dropout:
+		return float64(op.Outputs[0].Shape.NumElements())
+	case graph.GELU:
+		return 8 * float64(op.Outputs[0].Shape.NumElements())
+	case graph.MaxPool, graph.AvgPool:
+		k := float64(op.Attrs.KernelH * op.Attrs.KernelW)
+		return k * float64(op.Outputs[0].Shape.NumElements())
+	case graph.BatchNorm, graph.LayerNorm:
+		return 8 * float64(op.Inputs[0].Shape.NumElements())
+	case graph.Softmax:
+		return 5 * float64(op.Inputs[0].Shape.NumElements())
+	case graph.CrossEntropy:
+		return 5 * float64(op.Inputs[0].Shape.NumElements())
+	case graph.Embedding:
+		return 0 // pure gather: bandwidth bound
+	case graph.Concat, graph.Transpose:
+		return 0 // copies: bandwidth bound
+	case graph.Reshape:
+		return 0 // metadata only
+	case graph.SGDUpdate:
+		n := float64(op.Inputs[0].Shape.NumElements())
+		return n * float64(2+2*(len(op.Inputs)-2)) // grad apply + state updates
+	case graph.GradOp:
+		return m.gradFLOPs(op)
+	case graph.SplitOp, graph.MergeOp, graph.SwapOut, graph.SwapIn, graph.Recompute:
+		return 0
+	default:
+		return float64(outBytes(op)) / 4
+	}
+}
+
+// gradFLOPs: backward of a GEMM-like op runs two GEMMs of forward size
+// (dX and dW); backward of element-wise ops costs about the forward.
+func (m *Model) gradFLOPs(op *graph.Op) float64 {
+	fwd := op.FwdOp
+	if fwd == nil {
+		return float64(outBytes(op)) / 4
+	}
+	base := m.FLOPs(fwd)
+	switch fwd.Kind {
+	case graph.Conv2D, graph.MatMul:
+		return 2 * base
+	case graph.MaxPool, graph.AvgPool:
+		return base
+	case graph.BatchNorm, graph.LayerNorm, graph.Softmax:
+		return 1.5 * base
+	case graph.CrossEntropy:
+		return base
+	case graph.Embedding:
+		return 0
+	default:
+		return base
+	}
+}
+
+func outBytes(op *graph.Op) int64 {
+	var b int64
+	for _, t := range op.Outputs {
+		b += t.Bytes()
+	}
+	return b
+}
+
+// BytesTouched estimates device-memory traffic: all inputs read plus
+// all outputs written (a lower bound that is tight for element-wise and
+// copy operators, which is where it binds).
+func (m *Model) BytesTouched(op *graph.Op) int64 {
+	if op.Kind == graph.Reshape {
+		return 0 // aliasing view
+	}
+	var b int64
+	for _, t := range op.Inputs {
+		b += t.Bytes()
+	}
+	return b + outBytes(op)
+}
+
+// rampTime is the fixed per-kernel ramp-up cost (wave quantization /
+// occupancy ramp): SaturationFLOP worth of lost work at peak rate.
+// It is what makes micro-kernels inefficient and produces the
+// partition-count curves of paper Fig. 5.
+func (m *Model) rampTime() float64 {
+	return m.Dev.SaturationFLOP / m.Dev.PeakFLOPS
+}
+
+// OpTime predicts the wall-clock execution time of op in seconds. Swap
+// operators are priced by TransferBytes; split/merge copies at memory
+// bandwidth (and are free when the rewrite marks them in-place via zero
+// workspace and matching layouts — see the planner).
+func (m *Model) OpTime(op *graph.Op) float64 {
+	switch op.Kind {
+	case graph.SwapOut, graph.SwapIn:
+		return m.TransferTime(TransferBytes(op))
+	case graph.SplitOp, graph.MergeOp:
+		return m.Dev.KernelLaunch + float64(m.BytesTouched(op))/m.Dev.MemBandwidth
+	case graph.Reshape:
+		return m.Dev.KernelLaunch
+	}
+	work := m.FLOPs(op)
+	tCompute := work / m.Dev.PeakFLOPS
+	tMem := float64(m.BytesTouched(op)) / m.Dev.MemBandwidth
+	t := tCompute
+	if tMem > t {
+		t = tMem
+	}
+	return m.Dev.KernelLaunch + m.rampTime() + t
+}
+
+// TransferTime is the PCIe copy time for the given byte count.
+func (m *Model) TransferTime(bytes int64) float64 {
+	return float64(bytes) / m.Dev.PCIeBandwidth
+}
+
+// TransferBytes is the payload of a swap operator: the tensor it moves.
+func TransferBytes(op *graph.Op) int64 {
+	switch op.Kind {
+	case graph.SwapOut:
+		if len(op.Inputs) > 0 {
+			return op.Inputs[0].Bytes()
+		}
+	case graph.SwapIn:
+		if len(op.Outputs) > 0 {
+			return op.Outputs[0].Bytes()
+		}
+	}
+	return 0
+}
+
+// SplitTimes returns the predicted execution times of splitting op into
+// pnum micro-operators along the sample axis: each micro-op carries
+// 1/pnum of the work and bytes. This is the curve of paper Fig. 5 and
+// the ΔT_split kernel-degradation term of Eq. 6.
+func (m *Model) SplitTimes(op *graph.Op, pnum int) (perPart, total float64) {
+	work := m.FLOPs(op) / float64(pnum)
+	bytes := float64(m.BytesTouched(op)) / float64(pnum)
+	tCompute := work / m.Dev.PeakFLOPS
+	tMem := bytes / m.Dev.MemBandwidth
+	t := tCompute
+	if tMem > t {
+		t = tMem
+	}
+	perPart = m.Dev.KernelLaunch + m.rampTime() + t
+	return perPart, perPart * float64(pnum)
+}

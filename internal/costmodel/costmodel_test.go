@@ -1,0 +1,169 @@
+package costmodel
+
+import (
+	"testing"
+
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+func convGraph(batch, ch, hw int) (*graph.Graph, *graph.Op) {
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(batch, ch, hw, hw), tensor.Float32)
+	y := g.Conv2D("c", x, ch, 3, 1, 1)
+	return g, y.Producer
+}
+
+func TestConvFLOPs(t *testing.T) {
+	_, op := convGraph(2, 8, 16)
+	m := New(device.TitanRTX)
+	// 2 * outElems * inC * k * k
+	want := 2.0 * float64(2*8*16*16) * float64(8*3*3)
+	if got := m.FLOPs(op); got != want {
+		t.Fatalf("flops %g want %g", got, want)
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(4, 8), tensor.Float32)
+	y := g.Dense("fc", x, 16)
+	m := New(device.TitanRTX)
+	if got, want := m.FLOPs(y.Producer), 2.0*4*8*16; got != want {
+		t.Fatalf("flops %g want %g", got, want)
+	}
+}
+
+func TestTimeMonotoneInWork(t *testing.T) {
+	m := New(device.TitanRTX)
+	_, small := convGraph(1, 8, 16)
+	_, large := convGraph(8, 8, 16)
+	if m.OpTime(small) >= m.OpTime(large) {
+		t.Fatal("larger op should take longer")
+	}
+}
+
+func TestKernelLaunchFloor(t *testing.T) {
+	m := New(device.TitanRTX)
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(1, 1), tensor.Float32)
+	y := g.ReLU("r", x)
+	if m.OpTime(y.Producer) < device.TitanRTX.KernelLaunch {
+		t.Fatal("time below launch overhead")
+	}
+}
+
+func TestElementwiseIsBandwidthBound(t *testing.T) {
+	m := New(device.TitanRTX)
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(64, 1024, 8, 8), tensor.Float32)
+	y := g.ReLU("r", x)
+	op := y.Producer
+	ramp := device.TitanRTX.SaturationFLOP / device.TitanRTX.PeakFLOPS
+	want := device.TitanRTX.KernelLaunch + ramp + float64(m.BytesTouched(op))/device.TitanRTX.MemBandwidth
+	got := m.OpTime(op)
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("relu time %g, want bandwidth-bound %g", got, want)
+	}
+}
+
+func TestSlowerDeviceIsSlower(t *testing.T) {
+	_, op := convGraph(8, 64, 32)
+	fast := New(device.TitanRTX)
+	slow := New(device.GTX1080Ti)
+	if fast.OpTime(op) >= slow.OpTime(op) {
+		t.Fatal("1080Ti must be slower than Titan RTX")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := New(device.TitanRTX)
+	if got := m.TransferTime(12e9 / 2); got < 0.49 || got > 0.51 {
+		t.Fatalf("transfer of half the per-second bandwidth = %g s", got)
+	}
+}
+
+// The Fig. 5 property: splitting a compute-saturated operator is
+// almost free at small p_num, while tiny operators degrade quickly.
+func TestSplitTimesFig5Shape(t *testing.T) {
+	m := New(device.TitanRTX)
+	_, big := convGraph(64, 128, 56)
+
+	_, t1 := m.SplitTimes(big, 1)
+	_, t4 := m.SplitTimes(big, 4)
+	if t4 > 1.25*t1 {
+		t.Fatalf("big conv degrades too fast: p4/p1 = %.2f", t4/t1)
+	}
+
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(64, 8), tensor.Float32)
+	small := g.Dense("fc", x, 8).Producer
+	_, s1 := m.SplitTimes(small, 1)
+	_, s32 := m.SplitTimes(small, 32)
+	if s32 < 3*s1 {
+		t.Fatalf("launch-bound op should degrade with splitting: p32/p1 = %.2f", s32/s1)
+	}
+}
+
+func TestSplitTimesTotalAtLeastUnsplit(t *testing.T) {
+	m := New(device.TitanRTX)
+	_, op := convGraph(16, 32, 28)
+	base := m.OpTime(op)
+	for _, p := range []int{2, 4, 8, 16} {
+		if _, total := m.SplitTimes(op, p); total < base*0.999 {
+			t.Fatalf("p=%d total %g below unsplit %g", p, total, base)
+		}
+	}
+}
+
+func TestGradCostsMoreThanForward(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(4, 8, 16, 16), tensor.Float32)
+	labels := g.Input("l", tensor.NewShape(4), tensor.Int32)
+	y := g.Conv2D("c", x, 8, 3, 1, 1)
+	flat := g.Reshape("f", y, tensor.NewShape(4, 8*16*16))
+	logits := g.Dense("fc", flat, 4)
+	g.CrossEntropyLoss("loss", logits, labels)
+	if err := g.Differentiate(graph.SGD); err != nil {
+		t.Fatal(err)
+	}
+	m := New(device.TitanRTX)
+	var fwd, bwd *graph.Op
+	for _, op := range g.Ops {
+		if op.Name == "c" {
+			fwd = op
+		}
+		if op.Name == "dc" {
+			bwd = op
+		}
+	}
+	if fwd == nil || bwd == nil {
+		t.Fatal("ops not found")
+	}
+	if m.FLOPs(bwd) <= m.FLOPs(fwd) {
+		t.Fatal("conv backward should cost about 2x forward")
+	}
+}
+
+func TestSwapOpsPricedByTransfer(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", tensor.NewShape(1024, 1024), tensor.Float32)
+	h := g.NewTensor("x.host", x.Shape, x.DType, tensor.HostCopy)
+	op := g.NewOp("swapout.x", graph.SwapOut, graph.Forward, []*graph.Tensor{x}, []*graph.Tensor{h}, graph.Attrs{})
+	m := New(device.TitanRTX)
+	want := float64(x.Bytes()) / device.TitanRTX.PCIeBandwidth
+	if got := m.OpTime(op); got != want {
+		t.Fatalf("swap-out time %g want %g", got, want)
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	d, err := device.ByName("TITAN RTX")
+	if err != nil || d.MemBytes != device.TitanRTX.MemBytes {
+		t.Fatal("ByName failed")
+	}
+	if _, err := device.ByName("nope"); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}

@@ -1,0 +1,128 @@
+// Package device describes the simulated accelerators TSPLIT plans for.
+//
+// The paper evaluates on NVIDIA Titan RTX and GTX 1080Ti, and motivates
+// with P100/V100 capacities (Fig. 1). No GPU is available in this
+// reproduction, so a device is a parameter set — memory capacity,
+// peak arithmetic throughput, device-memory bandwidth, kernel-launch
+// overhead and PCIe bandwidth — consumed by the analytic cost model and
+// the discrete-event runtime. TSPLIT's planner only ever sees profiled
+// times and sizes, so this parameterization carries exactly the
+// information the real system extracts with cudaEvent profiling
+// (paper Sec. V-B).
+package device
+
+import "fmt"
+
+// Device is a simulated accelerator profile.
+type Device struct {
+	// Name identifies the profile in reports ("TITAN RTX").
+	Name string
+	// MemBytes is usable device memory. Real frameworks lose some
+	// capacity to context/cuDNN handles; profiles already account for
+	// that.
+	MemBytes int64
+	// PeakFLOPS is peak FP32 throughput in floating-point ops/second.
+	PeakFLOPS float64
+	// MemBandwidth is device-memory bandwidth in bytes/second; it
+	// bounds element-wise (memory-bound) operators.
+	MemBandwidth float64
+	// PCIeBandwidth is host<->device copy bandwidth in bytes/second per
+	// direction (PCIe 3.0 x16 is full duplex).
+	PCIeBandwidth float64
+	// KernelLaunch is the fixed per-kernel overhead in seconds. It is
+	// the term that penalizes excessive tensor splitting (paper Eq. 6's
+	// kernel-launch cost).
+	KernelLaunch float64
+	// SaturationFLOP is the per-kernel ramp-up cost expressed as lost
+	// work: every kernel pays SaturationFLOP/PeakFLOPS seconds of
+	// occupancy ramp, which is what penalizes micro-kernels and
+	// produces the partition-count/time curves of paper Fig. 5.
+	SaturationFLOP float64
+}
+
+// String returns "name (mem GiB)".
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%.0f GiB)", d.Name, float64(d.MemBytes)/GiB)
+}
+
+// Byte-size helpers for profile literals and reports.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// pcie3x16 is the effective bandwidth of a PCIe 3.0 x16 link. The
+// nominal 15.75 GB/s is never reached; ~12 GB/s is what cudaMemcpyAsync
+// sustains with pinned memory, the setting vDNN and TSPLIT assume.
+const pcie3x16 = 12e9
+
+// TitanRTX is the paper's first evaluation server (24 GB, 16.3 TFLOPS
+// FP32, PCIe 3.0).
+var TitanRTX = Device{
+	Name:           "TITAN RTX",
+	MemBytes:       24 * GiB,
+	PeakFLOPS:      16.3e12,
+	MemBandwidth:   672e9,
+	PCIeBandwidth:  pcie3x16,
+	KernelLaunch:   5e-6,
+	SaturationFLOP: 4e9,
+}
+
+// GTX1080Ti is the paper's second server (11 GB, 11.34 TFLOPS — about
+// 70% of the Titan RTX, as the paper notes for Fig. 13).
+var GTX1080Ti = Device{
+	Name:           "GTX 1080Ti",
+	MemBytes:       11 * GiB,
+	PeakFLOPS:      11.34e12,
+	MemBandwidth:   484e9,
+	PCIeBandwidth:  pcie3x16,
+	KernelLaunch:   5e-6,
+	SaturationFLOP: 2.8e9,
+}
+
+// V100 appears in the paper's Fig. 1 capacity lines (32 GB variant).
+var V100 = Device{
+	Name:           "V100",
+	MemBytes:       32 * GiB,
+	PeakFLOPS:      15.7e12,
+	MemBandwidth:   900e9,
+	PCIeBandwidth:  pcie3x16,
+	KernelLaunch:   5e-6,
+	SaturationFLOP: 4e9,
+}
+
+// P100 appears in the paper's Fig. 1 capacity lines (16 GB variant).
+var P100 = Device{
+	Name:           "P100",
+	MemBytes:       16 * GiB,
+	PeakFLOPS:      10.6e12,
+	MemBandwidth:   732e9,
+	PCIeBandwidth:  pcie3x16,
+	KernelLaunch:   5e-6,
+	SaturationFLOP: 2.6e9,
+}
+
+// RTX2080Ti completes the Fig. 1 GPU set (11 GB).
+var RTX2080Ti = Device{
+	Name:           "RTX 2080Ti",
+	MemBytes:       11 * GiB,
+	PeakFLOPS:      13.4e12,
+	MemBandwidth:   616e9,
+	PCIeBandwidth:  pcie3x16,
+	KernelLaunch:   5e-6,
+	SaturationFLOP: 3.4e9,
+}
+
+// All lists the built-in profiles.
+var All = []Device{TitanRTX, GTX1080Ti, V100, P100, RTX2080Ti}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Device, error) {
+	for _, d := range All {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("device: unknown profile %q", name)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"tsplit/internal/device"
+	"tsplit/internal/models"
+)
+
+// MaxSampleScale finds the largest batch size a policy can train
+// (paper Table IV / VI) by exponential probing followed by binary
+// search. hi bounds the search (0 = 4096).
+func MaxSampleScale(model, policy string, dev device.Device, cfg models.Config, hi int) int {
+	if hi == 0 {
+		hi = 4096
+	}
+	feasible := func(b int) bool {
+		c := cfg
+		c.BatchSize = b
+		return Feasible(model, c, dev, policy, 0)
+	}
+	return searchMax(feasible, hi)
+}
+
+// MaxParamScale finds the largest integer parameter-scale multiplier k
+// (channels / hidden size ×k, paper Table V / VII) trainable at the
+// paper's fixed batch of 16.
+func MaxParamScale(model, policy string, dev device.Device, cfg models.Config, hi int) int {
+	if hi == 0 {
+		hi = 128
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 16
+	}
+	feasible := func(k int) bool {
+		c := cfg
+		c.ParamScale = float64(k)
+		return Feasible(model, c, dev, policy, 0)
+	}
+	return searchMax(feasible, hi)
+}
+
+// searchMax returns the largest n in [0, hi] with feasible(n), probing
+// exponentially from 1 and binary-searching the failing octave.
+// feasible is assumed monotone (true below the answer, false above) —
+// the occasional fragmentation-induced non-monotonicity makes the
+// result a lower bound, like a real OOM would.
+func searchMax(feasible func(int) bool, hi int) int {
+	if !feasible(1) {
+		return 0
+	}
+	lo := 1
+	probe := 2
+	for probe <= hi && feasible(probe) {
+		lo = probe
+		probe *= 2
+	}
+	up := probe
+	if up > hi {
+		up = hi + 1
+	}
+	// Invariant: feasible(lo), !feasible(up) (or up == hi+1).
+	for lo+1 < up {
+		mid := (lo + up) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			up = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Schedule is a total execution order over a graph's operators, built
+// by the depth-first scheduler of the paper's Algorithm 1. Tensors are
+// allocated at the start of their producer and freed after their last
+// scheduled consumer (paper Sec. IV-A).
+type Schedule struct {
+	Ops   []*Op
+	Index map[*Op]int
+}
+
+// BuildSchedule topologically orders the graph in the depth-first
+// manner of Algorithm 1: each operator is pushed as soon as its last
+// dependency retires, and its successors are explored depth-first in
+// creation order. The result is deterministic for a given graph.
+func BuildSchedule(g *Graph) (*Schedule, error) {
+	// Dependency counts: data inputs with a producer + control deps.
+	refcnt := make(map[*Op]int, len(g.Ops))
+	// dependents[op] lists ops waiting on op, in creation order.
+	dependents := make(map[*Op][]*Op, len(g.Ops))
+	for _, op := range g.Ops {
+		n := 0
+		seen := make(map[*Op]bool)
+		for _, in := range op.Inputs {
+			if p := in.Producer; p != nil && !seen[p] {
+				seen[p] = true
+				n++
+				dependents[p] = append(dependents[p], op)
+			}
+		}
+		for _, dep := range op.ControlDeps {
+			if !seen[dep] {
+				seen[dep] = true
+				n++
+				dependents[dep] = append(dependents[dep], op)
+			}
+		}
+		refcnt[op] = n
+	}
+
+	s := &Schedule{Index: make(map[*Op]int, len(g.Ops))}
+	var visit func(op *Op)
+	visit = func(op *Op) {
+		s.Index[op] = len(s.Ops)
+		s.Ops = append(s.Ops, op)
+		for _, next := range dependents[op] {
+			refcnt[next]--
+			if refcnt[next] == 0 {
+				visit(next)
+			}
+		}
+	}
+	for _, op := range g.Ops {
+		if refcnt[op] == 0 {
+			if _, done := s.Index[op]; !done {
+				visit(op)
+			}
+		}
+	}
+	if len(s.Ops) != len(g.Ops) {
+		return nil, fmt.Errorf("graph: schedule covered %d of %d ops (cycle via control deps?)", len(s.Ops), len(g.Ops))
+	}
+	return s, nil
+}
+
+// Liveness is the per-operation memory requirement of a schedule under
+// the default (no memory optimization) execution model: every tensor
+// resides on device from its producer to its last consumer, and
+// parameters, optimizer state and staged inputs reside for the whole
+// iteration.
+type Liveness struct {
+	Sched *Schedule
+	// FirstUse is the schedule index at which the tensor is allocated
+	// (its producer), or -1 for tensors resident from the start.
+	FirstUse map[*Tensor]int
+	// LastUse is the schedule index of the tensor's final consumer; for
+	// resident tensors it is the final operation.
+	LastUse map[*Tensor]int
+	// MemAt[i] is the device memory (bytes) required while executing
+	// schedule op i, including op i's workspace.
+	MemAt []int64
+	// Peak is the maximum of MemAt and PeakIdx its schedule position.
+	Peak    int64
+	PeakIdx int
+	// Resident is the always-on-device footprint (params, opt state,
+	// staged inputs).
+	Resident int64
+}
+
+// AnalyzeLiveness computes tensor lifetimes and the memory-requirement
+// curve M_i of paper Sec. IV-A for the given schedule.
+func AnalyzeLiveness(g *Graph, s *Schedule) *Liveness {
+	n := len(s.Ops)
+	lv := &Liveness{
+		Sched:    s,
+		FirstUse: make(map[*Tensor]int, len(g.Tensors)),
+		LastUse:  make(map[*Tensor]int, len(g.Tensors)),
+		MemAt:    make([]int64, n),
+	}
+	// delta[i] accumulates alloc(+)/free(-) transitions at op i.
+	delta := make([]int64, n+1)
+	for _, t := range g.Tensors {
+		first := -1
+		if t.Producer != nil {
+			first = s.Index[t.Producer]
+		}
+		last := first
+		if first == -1 {
+			last = n - 1
+		}
+		for _, c := range t.Consumers {
+			if i := s.Index[c]; i > last {
+				last = i
+			}
+		}
+		lv.FirstUse[t] = first
+		lv.LastUse[t] = last
+		if first == -1 {
+			lv.Resident += t.Bytes()
+			continue
+		}
+		delta[first] += t.Bytes()
+		delta[last+1] -= t.Bytes()
+	}
+	run := lv.Resident
+	for i := 0; i < n; i++ {
+		run += delta[i]
+		lv.MemAt[i] = run + s.Ops[i].Workspace
+		if lv.MemAt[i] > lv.Peak {
+			lv.Peak = lv.MemAt[i]
+			lv.PeakIdx = i
+		}
+	}
+	return lv
+}
+
+// LiveAt reports whether t occupies device memory while op index i
+// executes.
+func (lv *Liveness) LiveAt(t *Tensor, i int) bool {
+	first := lv.FirstUse[t]
+	if first == -1 {
+		return true
+	}
+	return first <= i && i <= lv.LastUse[t]
+}

@@ -1,0 +1,208 @@
+package hostexec
+
+import (
+	"fmt"
+
+	"tsplit/internal/core"
+	"tsplit/internal/graph"
+	"tsplit/internal/nn"
+	"tsplit/internal/tensor"
+)
+
+// execWhole evaluates one operator with real values.
+func (e *Executor) execWhole(op *graph.Op) error {
+	ins := make([]*nn.Buffer, len(op.Inputs))
+	for i, t := range op.Inputs {
+		b, err := e.value(t)
+		if err != nil {
+			return err
+		}
+		ins[i] = b
+	}
+	outs, err := e.eval(op, ins)
+	if err != nil {
+		return err
+	}
+	for i, o := range op.Outputs {
+		if err := e.track(o, outs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eval dispatches an operator to its kernel.
+func (e *Executor) eval(op *graph.Op, ins []*nn.Buffer) ([]*nn.Buffer, error) {
+	switch op.Kind {
+	case graph.Conv2D:
+		return []*nn.Buffer{nn.Conv2D(ins[0], ins[1], ins[2], op.Attrs)}, nil
+	case graph.MatMul:
+		var bias *nn.Buffer
+		if len(ins) > 2 {
+			bias = ins[2]
+		}
+		return []*nn.Buffer{nn.MatMul(ins[0], ins[1], bias)}, nil
+	case graph.ReLU:
+		return []*nn.Buffer{nn.ReLU(ins[0])}, nil
+	case graph.MaxPool:
+		return []*nn.Buffer{nn.MaxPool(ins[0], op.Attrs)}, nil
+	case graph.Reshape:
+		out := nn.NewBufferFrom(op.Outputs[0].Shape, append([]float32(nil), ins[0].Data...))
+		return []*nn.Buffer{out}, nil
+	case graph.Dropout:
+		// Deterministic identity in the real engine (tests compare
+		// losses bit-for-bit across plans).
+		return []*nn.Buffer{ins[0].Clone()}, nil
+	case graph.Add:
+		return []*nn.Buffer{nn.Add(ins[0], ins[1])}, nil
+	case graph.LayerNorm:
+		return []*nn.Buffer{nn.LayerNorm(ins[0], ins[1], ins[2])}, nil
+	case graph.GELU:
+		return []*nn.Buffer{nn.GELU(ins[0])}, nil
+	case graph.Softmax:
+		return []*nn.Buffer{nn.Softmax(ins[0])}, nil
+	case graph.CrossEntropy:
+		loss := nn.CrossEntropy(ins[0], e.labels)
+		out := nn.NewBuffer(tensor.NewShape(1))
+		out.Data[0] = float32(loss)
+		return []*nn.Buffer{out}, nil
+	case graph.GradOp:
+		return e.evalGrad(op, ins)
+	case graph.SGDUpdate:
+		p := e.params[op.Inputs[0]]
+		var v *nn.Buffer
+		if len(op.Inputs) > 2 {
+			v = e.states[op.Inputs[2]]
+		}
+		nn.SGDStep(p, ins[1], v, e.LR, e.Momentum)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("hostexec: operator %s not supported by the real engine", op.Kind)
+	}
+}
+
+// evalGrad dispatches a backward operator. Input layout follows
+// graph.Differentiate: upstream gradient first (absent for the loss),
+// then the saved forward tensors.
+func (e *Executor) evalGrad(op *graph.Op, ins []*nn.Buffer) ([]*nn.Buffer, error) {
+	fwd := op.FwdOp
+	switch fwd.Kind {
+	case graph.Conv2D:
+		dy, x, w := ins[0], ins[1], ins[2]
+		dx, dw, db := nn.Conv2DGrad(x, w, dy, fwd.Attrs)
+		return []*nn.Buffer{dx, dw, db}, nil
+	case graph.MatMul:
+		dy, x, w := ins[0], ins[1], ins[2]
+		dx, dw, db := nn.MatMulGrad(x, w, dy)
+		if len(op.Outputs) == 2 { // no bias in this matmul
+			return []*nn.Buffer{dx, dw}, nil
+		}
+		return []*nn.Buffer{dx, dw, db}, nil
+	case graph.ReLU:
+		dy, x := ins[0], ins[1]
+		return []*nn.Buffer{nn.ReLUGrad(x, dy)}, nil
+	case graph.MaxPool:
+		dy, x, y := ins[0], ins[1], ins[2]
+		return []*nn.Buffer{nn.MaxPoolGrad(x, y, dy, fwd.Attrs)}, nil
+	case graph.Reshape:
+		dy := ins[0]
+		out := nn.NewBufferFrom(op.Outputs[0].Shape, append([]float32(nil), dy.Data...))
+		return []*nn.Buffer{out}, nil
+	case graph.Dropout:
+		return []*nn.Buffer{ins[0].Clone()}, nil
+	case graph.LayerNorm:
+		dy, x, gamma := ins[0], ins[1], ins[2]
+		dx, dgamma, dbeta := nn.LayerNormGrad(x, gamma, dy)
+		return []*nn.Buffer{dx, dgamma, dbeta}, nil
+	case graph.GELU:
+		dy, x := ins[0], ins[1]
+		return []*nn.Buffer{nn.GELUGrad(x, dy)}, nil
+	case graph.Add:
+		dy := ins[0]
+		return []*nn.Buffer{dy.Clone(), dy.Clone()}, nil
+	case graph.CrossEntropy:
+		logits := ins[0]
+		return []*nn.Buffer{nn.CrossEntropyGrad(logits, e.labels)}, nil
+	default:
+		return nil, fmt.Errorf("hostexec: gradient of %s not supported by the real engine", fwd.Kind)
+	}
+}
+
+// execSplit runs a sample-dimension split operator as a micro-batch
+// loop with real slicing: batch-axis inputs are carved, whole operands
+// are shared, batch-axis outputs are concatenated, and reduction
+// outputs (weight gradients, the scalar loss) are sum-merged —
+// physically exercising the sTensor split/merge semantics.
+func (e *Executor) execSplit(op *graph.Op, sp core.OpSplit) error {
+	batch := op.Outputs[0].Shape[0]
+	if op.Kind == graph.CrossEntropy || (op.FwdOp != nil && op.FwdOp.Kind == graph.CrossEntropy) {
+		// Loss rows map one-to-one to labels; slicing labels alongside
+		// logits is exercised in the nn tests. Keep the loss whole
+		// here.
+		return e.execWhole(op)
+	}
+
+	ins := make([]*nn.Buffer, len(op.Inputs))
+	for i, t := range op.Inputs {
+		b, err := e.value(t)
+		if err != nil {
+			return err
+		}
+		ins[i] = b
+	}
+	// Carve batch-axis inputs.
+	parts := make([][]*nn.Buffer, len(op.Inputs))
+	for i, t := range op.Inputs {
+		if t.Shape.Rank() >= 1 && t.Shape[0] == batch && t.Kind != tensor.Parameter {
+			p, err := nn.SplitAxis0(ins[i], sp.PNum)
+			if err != nil {
+				return err
+			}
+			parts[i] = p
+		}
+	}
+
+	outParts := make([][]*nn.Buffer, len(op.Outputs))
+	for k := 0; k < sp.PNum; k++ {
+		micro := make([]*nn.Buffer, len(op.Inputs))
+		for i := range op.Inputs {
+			if parts[i] != nil {
+				micro[i] = parts[i][k]
+			} else {
+				micro[i] = ins[i]
+			}
+		}
+		outs, err := e.eval(op, micro)
+		if err != nil {
+			return err
+		}
+		for i := range op.Outputs {
+			outParts[i] = append(outParts[i], outs[i])
+		}
+	}
+
+	for i, o := range op.Outputs {
+		var merged *nn.Buffer
+		var err error
+		// Parameter gradients always sum-merge across micro-batches;
+		// batch-axis activations and gradients concatenate. The kind
+		// check matters: a weight gradient's leading dim can equal the
+		// batch size by coincidence.
+		if o.Kind != tensor.ParamGrad && o.Shape.Rank() >= 1 && o.Shape[0] == batch {
+			merged, err = nn.MergeAxis0(outParts[i])
+			if err != nil {
+				return err
+			}
+		} else {
+			// Reduction output: sum the partials.
+			merged = outParts[i][0].Clone()
+			for _, p := range outParts[i][1:] {
+				nn.SumInto(merged, p)
+			}
+		}
+		if err := e.track(o, merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}

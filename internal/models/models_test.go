@@ -1,0 +1,144 @@
+package models
+
+import (
+	"testing"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+func build(t *testing.T, name string, cfg Config) *graph.Graph {
+	t.Helper()
+	g, err := Build(name, cfg)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return g
+}
+
+func peakGiB(t *testing.T, g *graph.Graph) float64 {
+	t.Helper()
+	s, err := graph.BuildSchedule(g)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	lv := graph.AnalyzeLiveness(g, s)
+	return float64(lv.Peak) / (1 << 30)
+}
+
+func TestAllModelsBuildAndSchedule(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := build(t, name, Config{BatchSize: 8})
+			if g.Loss == nil {
+				t.Fatal("no loss set")
+			}
+			s, err := graph.BuildSchedule(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Ops) != len(g.Ops) {
+				t.Fatalf("schedule has %d ops, graph has %d", len(s.Ops), len(g.Ops))
+			}
+			// Every op must come after its producers.
+			for _, op := range g.Ops {
+				for _, in := range op.Inputs {
+					if p := in.Producer; p != nil && s.Index[p] >= s.Index[op] {
+						t.Fatalf("op %s scheduled before producer %s", op, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestModelParamCounts(t *testing.T) {
+	// Sanity-check parameter counts against the published sizes
+	// (within 15%: our graphs include BN/LN affine params etc.).
+	cases := []struct {
+		model  string
+		cfg    Config
+		params float64 // millions
+	}{
+		{"vgg16", Config{BatchSize: 1}, 138},
+		{"vgg19", Config{BatchSize: 1}, 144},
+		{"resnet50", Config{BatchSize: 1}, 25.6},
+		{"resnet101", Config{BatchSize: 1}, 44.5},
+		{"inceptionv4", Config{BatchSize: 1}, 42.7},
+		{"bert-large", Config{BatchSize: 1}, 335},
+	}
+	for _, c := range cases {
+		g := build(t, c.model, c.cfg)
+		var n int64
+		for _, p := range g.Params {
+			n += p.Shape.NumElements()
+		}
+		got := float64(n) / 1e6
+		if got < c.params*0.85 || got > c.params*1.15 {
+			t.Errorf("%s: %.1fM params, want ~%.1fM", c.model, got, c.params)
+		}
+	}
+}
+
+func TestVGG16MemoryGrowsWithBatch(t *testing.T) {
+	small := peakGiB(t, build(t, "vgg16", Config{BatchSize: 4}))
+	large := peakGiB(t, build(t, "vgg16", Config{BatchSize: 64}))
+	if large <= small {
+		t.Fatalf("peak should grow with batch: %f vs %f", small, large)
+	}
+	// VGG-16 batch 64 training footprint is on the order of 10+ GiB.
+	if large < 5 || large > 60 {
+		t.Errorf("vgg16 batch-64 peak %.1f GiB implausible", large)
+	}
+}
+
+func TestParamScaleGrowsParams(t *testing.T) {
+	base := build(t, "resnet50", Config{BatchSize: 2, ParamScale: 1})
+	wide := build(t, "resnet50", Config{BatchSize: 2, ParamScale: 2})
+	var nb, nw int64
+	for _, p := range base.Params {
+		nb += p.Shape.NumElements()
+	}
+	for _, p := range wide.Params {
+		nw += p.Shape.NumElements()
+	}
+	if nw < 3*nb {
+		t.Fatalf("2x width should give ~4x params: %d vs %d", nb, nw)
+	}
+}
+
+func TestTransformerHasNoConv(t *testing.T) {
+	g := build(t, "transformer", Config{BatchSize: 2, SeqLen: 32})
+	for _, op := range g.Ops {
+		if op.Kind == graph.Conv2D {
+			t.Fatalf("transformer graph contains conv: %s", op)
+		}
+	}
+}
+
+func TestGradientsCoverParams(t *testing.T) {
+	g := build(t, "vgg16", Config{BatchSize: 2})
+	for _, p := range g.Params {
+		if gt := g.GradTensor(p); gt == nil {
+			t.Errorf("param %s has no gradient", p.Name)
+		} else if gt.Kind != tensor.ParamGrad {
+			t.Errorf("param %s gradient has kind %v", p.Name, gt.Kind)
+		}
+	}
+}
+
+func TestForwardOnlySkipsBackward(t *testing.T) {
+	g := build(t, "resnet50", Config{BatchSize: 2, ForwardOnly: true})
+	for _, op := range g.Ops {
+		if op.Phase != graph.Forward {
+			t.Fatalf("forward-only graph has %v op %s", op.Phase, op)
+		}
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if _, err := Build("nope", Config{}); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

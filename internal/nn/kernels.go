@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+// MatMul computes y = x·w (+ bias per output column when bias is
+// non-nil) for x [N, K], w [K, M].
+func MatMul(x, w, bias *Buffer) *Buffer {
+	n, k := x.Shape[0], x.Shape[1]
+	k2, m := w.Shape[0], w.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("nn: matmul inner dim %d != %d", k, k2))
+	}
+	y := NewBuffer(tensor.NewShape(n, m))
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*k : (i+1)*k]
+		yi := y.Data[i*m : (i+1)*m]
+		for kk := 0; kk < k; kk++ {
+			a := xi[kk]
+			if a == 0 {
+				continue
+			}
+			wr := w.Data[kk*m : (kk+1)*m]
+			for j := 0; j < m; j++ {
+				yi[j] += a * wr[j]
+			}
+		}
+		if bias != nil {
+			for j := 0; j < m; j++ {
+				yi[j] += bias.Data[j]
+			}
+		}
+	}
+	return y
+}
+
+// MatMulGrad returns dx, dw, db for y = x·w + b given upstream dy.
+func MatMulGrad(x, w, dy *Buffer) (dx, dw, db *Buffer) {
+	n, k := x.Shape[0], x.Shape[1]
+	m := w.Shape[1]
+	dx = NewBuffer(x.Shape)
+	dw = NewBuffer(w.Shape)
+	db = NewBuffer(tensor.NewShape(m))
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*k : (i+1)*k]
+		dyi := dy.Data[i*m : (i+1)*m]
+		dxi := dx.Data[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			wr := w.Data[kk*m : (kk+1)*m]
+			dwr := dw.Data[kk*m : (kk+1)*m]
+			var acc float32
+			a := xi[kk]
+			for j := 0; j < m; j++ {
+				acc += dyi[j] * wr[j]
+				dwr[j] += a * dyi[j]
+			}
+			dxi[kk] = acc
+		}
+		for j := 0; j < m; j++ {
+			db.Data[j] += dyi[j]
+		}
+	}
+	return dx, dw, db
+}
+
+// ReLU applies max(0, x).
+func ReLU(x *Buffer) *Buffer {
+	y := NewBuffer(x.Shape)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUGrad masks dy by x > 0.
+func ReLUGrad(x, dy *Buffer) *Buffer {
+	dx := NewBuffer(x.Shape)
+	for i, v := range x.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// Add returns the element-wise sum.
+func Add(a, b *Buffer) *Buffer {
+	if !a.Shape.Equal(b.Shape) {
+		panic(fmt.Sprintf("nn: add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	y := a.Clone()
+	SumInto(y, b)
+	return y
+}
+
+// conv2DDims extracts geometry from op attrs and shapes.
+func conv2DDims(x, w *Buffer, at graph.Attrs) (n, c, h, wd, oc, oh, ow int) {
+	n, c, h, wd = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oc = w.Shape[0]
+	oh = (h+2*at.PadH-at.KernelH)/at.StrideH + 1
+	ow = (wd+2*at.PadW-at.KernelW)/at.StrideW + 1
+	return
+}
+
+// Conv2D computes a direct 2-D convolution for NCHW x and OIHW w,
+// with optional per-channel bias.
+func Conv2D(x, w, bias *Buffer, at graph.Attrs) *Buffer {
+	n, c, h, wd, oc, oh, ow := conv2DDims(x, w, at)
+	y := NewBuffer(tensor.NewShape(n, oc, oh, ow))
+	for b := 0; b < n; b++ {
+		for o := 0; o < oc; o++ {
+			var bv float32
+			if bias != nil {
+				bv = bias.Data[o]
+			}
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					acc := bv
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < at.KernelH; ki++ {
+							hi := i*at.StrideH + ki - at.PadH
+							if hi < 0 || hi >= h {
+								continue
+							}
+							for kj := 0; kj < at.KernelW; kj++ {
+								wj := j*at.StrideW + kj - at.PadW
+								if wj < 0 || wj >= wd {
+									continue
+								}
+								acc += x.At(b, ci, hi, wj) * w.At(o, ci, ki, kj)
+							}
+						}
+					}
+					y.Set(acc, b, o, i, j)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Conv2DGrad returns dx, dw, db for the direct convolution.
+func Conv2DGrad(x, w, dy *Buffer, at graph.Attrs) (dx, dw, db *Buffer) {
+	n, c, h, wd, oc, oh, ow := conv2DDims(x, w, at)
+	dx = NewBuffer(x.Shape)
+	dw = NewBuffer(w.Shape)
+	db = NewBuffer(tensor.NewShape(oc))
+	for b := 0; b < n; b++ {
+		for o := 0; o < oc; o++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := dy.At(b, o, i, j)
+					if g == 0 {
+						continue
+					}
+					db.Data[o] += g
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < at.KernelH; ki++ {
+							hi := i*at.StrideH + ki - at.PadH
+							if hi < 0 || hi >= h {
+								continue
+							}
+							for kj := 0; kj < at.KernelW; kj++ {
+								wj := j*at.StrideW + kj - at.PadW
+								if wj < 0 || wj >= wd {
+									continue
+								}
+								dx.Set(dx.At(b, ci, hi, wj)+g*w.At(o, ci, ki, kj), b, ci, hi, wj)
+								dw.Set(dw.At(o, ci, ki, kj)+g*x.At(b, ci, hi, wj), o, ci, ki, kj)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db
+}
+
+// MaxPool applies max pooling to NCHW x.
+func MaxPool(x *Buffer, at graph.Attrs) *Buffer {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h+2*at.PadH-at.KernelH)/at.StrideH + 1
+	ow := (wd+2*at.PadW-at.KernelW)/at.StrideW + 1
+	y := NewBuffer(tensor.NewShape(n, c, oh, ow))
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := float32(math.Inf(-1))
+					for ki := 0; ki < at.KernelH; ki++ {
+						hi := i*at.StrideH + ki - at.PadH
+						if hi < 0 || hi >= h {
+							continue
+						}
+						for kj := 0; kj < at.KernelW; kj++ {
+							wj := j*at.StrideW + kj - at.PadW
+							if wj < 0 || wj >= wd {
+								continue
+							}
+							if v := x.At(b, ci, hi, wj); v > best {
+								best = v
+							}
+						}
+					}
+					y.Set(best, b, ci, i, j)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// MaxPoolGrad routes dy to the argmax positions of x.
+func MaxPoolGrad(x, y, dy *Buffer, at graph.Attrs) *Buffer {
+	n, c := x.Shape[0], x.Shape[1]
+	h, wd := x.Shape[2], x.Shape[3]
+	oh, ow := y.Shape[2], y.Shape[3]
+	dx := NewBuffer(x.Shape)
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					max := y.At(b, ci, i, j)
+					g := dy.At(b, ci, i, j)
+				route:
+					for ki := 0; ki < at.KernelH; ki++ {
+						hi := i*at.StrideH + ki - at.PadH
+						if hi < 0 || hi >= h {
+							continue
+						}
+						for kj := 0; kj < at.KernelW; kj++ {
+							wj := j*at.StrideW + kj - at.PadW
+							if wj < 0 || wj >= wd {
+								continue
+							}
+							if x.At(b, ci, hi, wj) == max {
+								dx.Set(dx.At(b, ci, hi, wj)+g, b, ci, hi, wj)
+								break route
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Softmax normalizes the last axis.
+func Softmax(x *Buffer) *Buffer {
+	rank := x.Shape.Rank()
+	m := x.Shape[rank-1]
+	rows := int(x.Shape.NumElements()) / m
+	y := NewBuffer(x.Shape)
+	for r := 0; r < rows; r++ {
+		row := x.Data[r*m : (r+1)*m]
+		out := y.Data[r*m : (r+1)*m]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return y
+}
+
+// CrossEntropy computes the mean softmax cross-entropy of logits
+// [N, C] against int labels (given as float32 indices in labels.Data).
+func CrossEntropy(logits *Buffer, labels []int) float64 {
+	n, c := logits.Shape[0], logits.Shape[1]
+	sm := Softmax(logits)
+	var loss float64
+	for i := 0; i < n; i++ {
+		p := float64(sm.Data[i*c+labels[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(n)
+}
+
+// CrossEntropyGrad returns d(loss)/d(logits) for the mean softmax
+// cross-entropy: (softmax - onehot)/N.
+func CrossEntropyGrad(logits *Buffer, labels []int) *Buffer {
+	n, c := logits.Shape[0], logits.Shape[1]
+	d := Softmax(logits)
+	inv := float32(1.0 / float64(n))
+	for i := 0; i < n; i++ {
+		d.Data[i*c+labels[i]] -= 1
+		for j := 0; j < c; j++ {
+			d.Data[i*c+j] *= inv
+		}
+	}
+	return d
+}
+
+// SGDStep applies w -= lr*dw in place; with momentum buffers
+// (v = mu*v + dw; w -= lr*v) when v is non-nil.
+func SGDStep(w, dw, v *Buffer, lr, mu float32) {
+	if v == nil {
+		for i := range w.Data {
+			w.Data[i] -= lr * dw.Data[i]
+		}
+		return
+	}
+	for i := range w.Data {
+		v.Data[i] = mu*v.Data[i] + dw.Data[i]
+		w.Data[i] -= lr * v.Data[i]
+	}
+}

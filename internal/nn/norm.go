@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+
+	"tsplit/internal/tensor"
+)
+
+// lnEps is the layer-norm variance epsilon.
+const lnEps = 1e-5
+
+// rowsOf views a buffer as [rows, d] over its last axis.
+func rowsOf(b *Buffer) (rows, d int) {
+	d = b.Shape[b.Shape.Rank()-1]
+	rows = int(b.Shape.NumElements()) / d
+	return rows, d
+}
+
+// LayerNorm normalizes the last axis with learnable gain and bias:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta.
+func LayerNorm(x, gamma, beta *Buffer) *Buffer {
+	rows, d := rowsOf(x)
+	y := NewBuffer(x.Shape)
+	for r := 0; r < rows; r++ {
+		row := x.Data[r*d : (r+1)*d]
+		out := y.Data[r*d : (r+1)*d]
+		var mu float64
+		for _, v := range row {
+			mu += float64(v)
+		}
+		mu /= float64(d)
+		var va float64
+		for _, v := range row {
+			dv := float64(v) - mu
+			va += dv * dv
+		}
+		va /= float64(d)
+		inv := 1 / math.Sqrt(va+lnEps)
+		for j, v := range row {
+			xhat := (float64(v) - mu) * inv
+			out[j] = float32(xhat)*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	return y
+}
+
+// LayerNormGrad returns dx, dgamma, dbeta for LayerNorm.
+func LayerNormGrad(x, gamma, dy *Buffer) (dx, dgamma, dbeta *Buffer) {
+	rows, d := rowsOf(x)
+	dx = NewBuffer(x.Shape)
+	dgamma = NewBuffer(tensor.NewShape(d))
+	dbeta = NewBuffer(tensor.NewShape(d))
+	for r := 0; r < rows; r++ {
+		row := x.Data[r*d : (r+1)*d]
+		dyr := dy.Data[r*d : (r+1)*d]
+		dxr := dx.Data[r*d : (r+1)*d]
+		var mu float64
+		for _, v := range row {
+			mu += float64(v)
+		}
+		mu /= float64(d)
+		var va float64
+		for _, v := range row {
+			dv := float64(v) - mu
+			va += dv * dv
+		}
+		va /= float64(d)
+		inv := 1 / math.Sqrt(va+lnEps)
+
+		// dxhat = dy * gamma; dx = inv*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
+		var mDxhat, mDxhatXhat float64
+		xhat := make([]float64, d)
+		dxhat := make([]float64, d)
+		for j, v := range row {
+			xhat[j] = (float64(v) - mu) * inv
+			dxhat[j] = float64(dyr[j]) * float64(gamma.Data[j])
+			mDxhat += dxhat[j]
+			mDxhatXhat += dxhat[j] * xhat[j]
+			dgamma.Data[j] += float32(float64(dyr[j]) * xhat[j])
+			dbeta.Data[j] += dyr[j]
+		}
+		mDxhat /= float64(d)
+		mDxhatXhat /= float64(d)
+		for j := range dxr {
+			dxr[j] = float32(inv * (dxhat[j] - mDxhat - xhat[j]*mDxhatXhat))
+		}
+	}
+	return dx, dgamma, dbeta
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation).
+func GELU(x *Buffer) *Buffer {
+	y := NewBuffer(x.Shape)
+	for i, v := range x.Data {
+		y.Data[i] = float32(gelu(float64(v)))
+	}
+	return y
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+}
+
+// GELUGrad masks dy by the analytic derivative of the tanh-approximate
+// GELU.
+func GELUGrad(x, dy *Buffer) *Buffer {
+	dx := NewBuffer(x.Shape)
+	for i, v := range x.Data {
+		xv := float64(v)
+		u := geluC * (xv + 0.044715*xv*xv*xv)
+		t := math.Tanh(u)
+		du := geluC * (1 + 3*0.044715*xv*xv)
+		g := 0.5*(1+t) + 0.5*xv*(1-t*t)*du
+		dx.Data[i] = dy.Data[i] * float32(g)
+	}
+	return dx
+}

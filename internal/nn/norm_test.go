@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tsplit/internal/tensor"
+)
+
+func TestLayerNormStats(t *testing.T) {
+	x := randBuf(tensor.NewShape(3, 8), 21)
+	gamma := NewBuffer(tensor.NewShape(8))
+	beta := NewBuffer(tensor.NewShape(8))
+	for i := range gamma.Data {
+		gamma.Data[i] = 1
+	}
+	y := LayerNorm(x, gamma, beta)
+	for r := 0; r < 3; r++ {
+		var mu, va float64
+		for j := 0; j < 8; j++ {
+			mu += float64(y.At(r, j))
+		}
+		mu /= 8
+		for j := 0; j < 8; j++ {
+			d := float64(y.At(r, j)) - mu
+			va += d * d
+		}
+		va /= 8
+		if math.Abs(mu) > 1e-5 || math.Abs(va-1) > 1e-3 {
+			t.Fatalf("row %d normalized to mean %g var %g", r, mu, va)
+		}
+	}
+}
+
+func TestLayerNormGradNumeric(t *testing.T) {
+	x := randBuf(tensor.NewShape(2, 6), 22)
+	gamma := randBuf(tensor.NewShape(6), 23)
+	beta := randBuf(tensor.NewShape(6), 24)
+	dy := randBuf(tensor.NewShape(2, 6), 25)
+	dx, dgamma, _ := LayerNormGrad(x, gamma, dy)
+	loss := func(xx *Buffer) float64 {
+		y := LayerNorm(xx, gamma, beta)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i] * dy.Data[i])
+		}
+		return s
+	}
+	numericGrad(t, loss, x, dx, 2e-2)
+	lossG := func(g *Buffer) float64 {
+		y := LayerNorm(x, g, beta)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i] * dy.Data[i])
+		}
+		return s
+	}
+	numericGrad(t, lossG, gamma, dgamma, 2e-2)
+}
+
+func TestGELUGradNumeric(t *testing.T) {
+	x := randBuf(tensor.NewShape(10), 26)
+	dy := randBuf(tensor.NewShape(10), 27)
+	dx := GELUGrad(x, dy)
+	loss := func(xx *Buffer) float64 {
+		y := GELU(xx)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i] * dy.Data[i])
+		}
+		return s
+	}
+	numericGrad(t, loss, x, dx, 1e-2)
+}
+
+func TestGELUShape(t *testing.T) {
+	if gelu(0) != 0 {
+		t.Fatal("gelu(0) != 0")
+	}
+	if gelu(10) < 9.99 {
+		t.Fatal("gelu(large) should approach identity")
+	}
+	if gelu(-10) > -1e-3 && gelu(-10) < -1 {
+		t.Fatal("gelu(very negative) should approach 0")
+	}
+}

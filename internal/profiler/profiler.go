@@ -1,0 +1,259 @@
+// Package profiler produces the per-operation execution profile that
+// TSPLIT's planner consumes (paper Sec. V-B). The real system measures
+// each operator once with cudaEvent timers while monopolizing the GPU;
+// our oracle is the analytic cost model, which plays the same role:
+// a deterministic map from operator to execution time, plus transfer
+// times derived from full PCIe bandwidth, plus the simulated per-op
+// PCIe occupancy array Oc_u the planner keeps while placing swaps.
+package profiler
+
+import (
+	"tsplit/internal/costmodel"
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+)
+
+// Profile is the execution profile of one schedule on one device.
+type Profile struct {
+	Dev   device.Device
+	Cost  *costmodel.Model
+	Sched *graph.Schedule
+	// T[i] is the profiled execution time of schedule op i in seconds.
+	T []float64
+	// cum[i] is the prefix sum T[0]+...+T[i-1].
+	cum []float64
+}
+
+// New profiles every operator of the schedule on the device.
+func New(dev device.Device, sched *graph.Schedule) *Profile {
+	cm := costmodel.New(dev)
+	p := &Profile{
+		Dev:   dev,
+		Cost:  cm,
+		Sched: sched,
+		T:     make([]float64, len(sched.Ops)),
+		cum:   make([]float64, len(sched.Ops)+1),
+	}
+	for i, op := range sched.Ops {
+		p.T[i] = cm.OpTime(op)
+		p.cum[i+1] = p.cum[i] + p.T[i]
+	}
+	return p
+}
+
+// Total returns the profiled iteration time with no memory management
+// (the paper's T = Σ T_i).
+func (p *Profile) Total() float64 { return p.cum[len(p.cum)-1] }
+
+// Span returns Σ T_u for u in [from, to]; empty ranges return 0.
+func (p *Profile) Span(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(p.T) {
+		to = len(p.T) - 1
+	}
+	if from > to {
+		return 0
+	}
+	return p.cum[to+1] - p.cum[from]
+}
+
+// TransferTime is the PCIe copy time for bytes at full bandwidth.
+func (p *Profile) TransferTime(bytes int64) float64 {
+	return p.Cost.TransferTime(bytes)
+}
+
+// WindowStart returns the largest index s ≤ q-1 such that the
+// wall-clock span Σ T_u for u in [s, q-1] still covers dur — i.e. the
+// latest point a copy of duration dur can be issued and finish by q
+// even with no spare bandwidth (the compute stream will stall for the
+// unhidden part, but device memory is only occupied from s).
+func (p *Profile) WindowStart(q int, dur float64) int {
+	lo, hi := 0, q-1
+	if hi < 0 {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.Span(mid, q-1) >= dur {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Occupancy tracks the fraction of each operator's execution during
+// which one PCIe direction is already reserved by planned swaps — the
+// Oc_u array of paper Eq. 3/4 ("we keep an array to simulate and store
+// the status of each Op"). Directions are tracked independently
+// because PCIe is full duplex and the runtime uses separate D2H and
+// H2D streams.
+type Occupancy struct {
+	prof *Profile
+	// oc[u] in [0,1]: reserved fraction of op u's duration.
+	oc []float64
+	// freeCum[u] = Σ_{v<u} (1-oc[v])·T[v]; rebuilt lazily after Reserve
+	// so the planner's many candidate scores stay O(1).
+	freeCum []float64
+	dirty   bool
+}
+
+// NewOccupancy creates an empty tracker for the profile.
+func NewOccupancy(p *Profile) *Occupancy {
+	return &Occupancy{prof: p, oc: make([]float64, len(p.T)), dirty: true}
+}
+
+// Clone copies the tracker (the planner snapshots candidates).
+func (o *Occupancy) Clone() *Occupancy {
+	c := &Occupancy{prof: o.prof, oc: make([]float64, len(o.oc)), dirty: true}
+	copy(c.oc, o.oc)
+	return c
+}
+
+func (o *Occupancy) rebuild() {
+	if !o.dirty {
+		return
+	}
+	if o.freeCum == nil {
+		o.freeCum = make([]float64, len(o.oc)+1)
+	}
+	for u := range o.oc {
+		o.freeCum[u+1] = o.freeCum[u] + (1-o.oc[u])*o.prof.T[u]
+	}
+	o.dirty = false
+}
+
+// FreeTime returns Σ (1-Oc_u)·T_u over [from, to] — the transfer time
+// that can be hidden under computation in that window (Eq. 3).
+func (o *Occupancy) FreeTime(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(o.oc) {
+		to = len(o.oc) - 1
+	}
+	if from > to {
+		return 0
+	}
+	o.rebuild()
+	return o.freeCum[to+1] - o.freeCum[from]
+}
+
+// Stall returns the non-overlappable remainder of a transfer of the
+// given duration placed in [from, to]: max(transfer − FreeTime, 0).
+func (o *Occupancy) Stall(transfer float64, from, to int) float64 {
+	if rest := transfer - o.FreeTime(from, to); rest > 0 {
+		return rest
+	}
+	return 0
+}
+
+// Reserve greedily books transfer seconds of PCIe time across
+// [from, to], front-loaded (the paper assigns the ideal swap-out begin
+// time as the tensor's generation time). It returns the seconds that
+// did not fit — computation will stall for that long.
+func (o *Occupancy) Reserve(transfer float64, from, to int) (stall float64) {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(o.oc) {
+		to = len(o.oc) - 1
+	}
+	o.dirty = true
+	for u := from; u <= to && transfer > 0; u++ {
+		free := (1 - o.oc[u]) * o.prof.T[u]
+		if free <= 0 {
+			continue
+		}
+		take := free
+		if transfer < take {
+			take = transfer
+		}
+		if o.prof.T[u] > 0 {
+			o.oc[u] += take / o.prof.T[u]
+			if o.oc[u] > 1 {
+				o.oc[u] = 1
+			}
+		}
+		transfer -= take
+	}
+	return transfer
+}
+
+// ReserveBack books transfer seconds of PCIe time across [from, to],
+// back-loaded: slots nearest the deadline are taken first, so a
+// prefetched tensor re-occupies device memory as late as the link
+// allows. It returns the earliest index actually used (the prefetch
+// issue position) and the seconds that did not fit (stall).
+func (o *Occupancy) ReserveBack(transfer float64, from, to int) (start int, stall float64) {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(o.oc) {
+		to = len(o.oc) - 1
+	}
+	start = to
+	if to < from {
+		return from, transfer
+	}
+	o.dirty = true
+	for u := to; u >= from && transfer > 0; u-- {
+		free := (1 - o.oc[u]) * o.prof.T[u]
+		if free <= 0 {
+			continue
+		}
+		take := free
+		if transfer < take {
+			take = transfer
+		}
+		if o.prof.T[u] > 0 {
+			o.oc[u] += take / o.prof.T[u]
+			if o.oc[u] > 1 {
+				o.oc[u] = 1
+			}
+		}
+		transfer -= take
+		start = u
+	}
+	return start, transfer
+}
+
+// At returns Oc_u for schedule index u.
+func (o *Occupancy) At(u int) float64 { return o.oc[u] }
+
+// PrefetchIndex returns the latest schedule index p at which a swap-in
+// of the given transfer duration can be issued and still complete
+// before op q, given current occupancy — the "swap-in begin" position
+// of paper Eq. 3. Prefetching as late as possible minimizes the memory
+// the restored tensor occupies. When even issuing at lo the transfer
+// cannot be hidden, lo is returned (the runtime will stall).
+func (o *Occupancy) PrefetchIndex(transfer float64, q, lo int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	hi := q - 1
+	if hi < lo {
+		return lo
+	}
+	if o.FreeTime(lo, q-1) < transfer {
+		// PCIe is saturated: no start position hides the transfer, so
+		// issue as late as possible — the stall is the same wherever
+		// the copy is queued, but a late start keeps the tensor out of
+		// device memory longest.
+		return hi
+	}
+	// FreeTime(p, q-1) is non-increasing in p: binary search the
+	// largest p that still hides the transfer.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if o.FreeTime(mid, q-1) >= transfer {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tsplit/internal/core"
+	"tsplit/internal/graph"
+	"tsplit/internal/memorypool"
+	"tsplit/internal/tensor"
+)
+
+// Run simulates one training iteration and returns the measurements.
+// It returns an ErrOOM-wrapped error when the plan does not fit the
+// device — the configuration "cannot train".
+func (s *Simulator) Run() (Result, error) {
+	s.reset()
+	if err := s.stageResidents(); err != nil {
+		return s.res, err
+	}
+	var pureCompute float64
+	for i, op := range s.Sched.Ops {
+		for _, t := range s.prefetch[i] {
+			if err := s.startSwapIn(t, s.tc); err != nil {
+				return s.res, err
+			}
+		}
+		pureCompute += s.Cost.OpTime(op)
+		var err error
+		if sp, ok := s.Plan.SplitFor(op); ok {
+			err = s.execSplit(i, op, sp)
+		} else {
+			err = s.execWhole(i, op)
+		}
+		if err != nil {
+			return s.res, fmt.Errorf("sim: op %d %s: %w", i, op, err)
+		}
+		s.postOp(i, op)
+		s.clearLocals()
+	}
+	s.res.Time = s.tc
+	s.res.StallTime = s.tc - pureCompute
+	if s.res.Time > 0 {
+		s.res.PCIeUtilization = (s.res.D2HBusy + s.res.H2DBusy) / (2 * s.res.Time)
+	}
+	s.res.PeakBytes = s.pool.Stats().Peak
+	return s.res, nil
+}
+
+// resident reports whether the tensor is pinned on device for the
+// whole iteration under the plan.
+func (s *Simulator) resident(t *graph.Tensor) bool {
+	if t.Producer != nil {
+		return false
+	}
+	switch t.Kind {
+	case tensor.Parameter:
+		return !s.Plan.ShardParams
+	case tensor.OptState:
+		return !s.Plan.OffloadOptimizer
+	default:
+		// Staged inputs are resident unless explicitly planned.
+		_, planned := s.Plan.Tensors[t.ID]
+		return !planned || s.Plan.TensorOpt(t) == core.Reside
+	}
+}
+
+// stageResidents allocates parameters, optimizer state and inputs at
+// time zero; sharded/offloaded tensors start on the host.
+func (s *Simulator) stageResidents() error {
+	for _, t := range s.G.Tensors {
+		if t.Producer != nil {
+			continue
+		}
+		if !s.resident(t) {
+			s.state[t] = onHost
+			continue
+		}
+		blk, _, err := s.allocWait(t.Bytes(), 0)
+		if err != nil {
+			return fmt.Errorf("sim: staging %s: %w", t.Name, err)
+		}
+		s.state[t] = onDevice
+		s.block[t] = blk
+		s.readyAt[t] = 0
+	}
+	return nil
+}
+
+// allocWait allocates from the pool, waiting on in-flight swap-out
+// completions (and, under the LRU recompute strategy, evicting cached
+// regenerations) when the pool is full. It returns the block and the
+// time at which the memory is actually available.
+func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float64, error) {
+	for {
+		blk, err := s.pool.Alloc(bytes)
+		if err == nil {
+			return blk, at, nil
+		}
+		if len(s.pending) > 0 {
+			ev := heap.Pop(&s.pending).(freeEvent)
+			s.pool.FreeBlock(ev.block)
+			if ev.at > at {
+				at = ev.at
+			}
+			continue
+		}
+		if s.Opts.Recompute == LRURecompute && len(s.lruCache) > 0 {
+			victim := s.lruCache[0]
+			s.lruCache = s.lruCache[1:]
+			if s.state[victim] == onDevice && !s.pinned[victim] {
+				s.pool.FreeBlock(s.block[victim])
+				delete(s.block, victim)
+				s.state[victim] = dropped
+			}
+			continue
+		}
+		if s.Opts.Recompute == LRURecompute {
+			// Pressure valve: regenerated tensors not touched by the
+			// current operator can always be dropped and re-produced.
+			var victim *graph.Tensor
+			for t, wr := range s.wasRecomputed {
+				if !wr || s.state[t] != onDevice || s.pinned[t] {
+					continue
+				}
+				if victim == nil || t.Bytes() > victim.Bytes() {
+					victim = t
+				}
+			}
+			if victim != nil {
+				s.pool.FreeBlock(s.block[victim])
+				delete(s.block, victim)
+				s.state[victim] = dropped
+				continue
+			}
+		}
+		if s.pool.Available() >= bytes && s.compactions < maxCompactions {
+			// Pure external fragmentation: defragment the arena. The
+			// sTensor indirection owns every pointer, so the runtime
+			// may migrate blocks, paying device-to-device copy time.
+			remap, moved := s.pool.Compact()
+			if moved == 0 {
+				return memorypool.Block{}, at, fmt.Errorf("%w: need %d bytes, %d in use of %d (already compact)",
+					ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity())
+			}
+			for t, blk := range s.block {
+				if no, ok := remap[blk.Offset]; ok {
+					blk.Offset = no
+					s.block[t] = blk
+				}
+			}
+			for i := range s.pending {
+				if no, ok := remap[s.pending[i].block.Offset]; ok {
+					s.pending[i].block.Offset = no
+				}
+			}
+			for _, lb := range s.locals {
+				if lb == nil {
+					continue
+				}
+				if no, ok := remap[lb.Offset]; ok {
+					lb.Offset = no
+				}
+			}
+			cost := 2 * float64(moved) / s.Dev.MemBandwidth // read + write
+			s.tc += cost
+			at += cost
+			s.res.Compactions++
+			s.compactions++
+			s.res.MovedBytes += moved
+			continue
+		}
+		return memorypool.Block{}, at, fmt.Errorf("%w: need %d bytes, %d in use of %d (pending=%d lru=%d compactions=%d)",
+			ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity(), len(s.pending), len(s.lruCache), s.compactions)
+	}
+}
+
+// startSwapOut issues a D2H copy of t and schedules the device block
+// to be freed when the copy completes. If the tensor's bytes already
+// streamed out early (EarlyOut split of the producer), the block is
+// freed immediately without new PCIe traffic.
+func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool) {
+	blk, ok := s.block[t]
+	if !ok {
+		return
+	}
+	if alreadyCopied {
+		s.pool.FreeBlock(blk)
+	} else {
+		start := s.td
+		if at > start {
+			start = at
+		}
+		dur := s.transfer(t.Bytes())
+		s.td = start + dur
+		s.res.D2HBusy += dur
+		s.res.SwapOutBytes += t.Bytes()
+		heap.Push(&s.pending, freeEvent{at: s.td, block: blk, t: t})
+		if s.Opts.CollectTimeline {
+			s.res.Timeline = append(s.res.Timeline, TimelinePoint{
+				Name: "swapout." + t.Name, Start: start, End: s.td,
+				MemUsed: s.pool.InUse(), Stream: "d2h",
+			})
+		}
+	}
+	delete(s.block, t)
+	s.state[t] = onHost
+}
+
+// startSwapIn issues an H2D copy restoring t; the tensor is usable
+// when the copy completes.
+func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
+	if s.state[t] != onHost {
+		return nil
+	}
+	blk, ready, err := s.allocWait(t.Bytes(), at)
+	if err != nil {
+		return err
+	}
+	start := s.th
+	if ready > start {
+		start = ready
+	}
+	dur := s.transfer(t.Bytes())
+	s.th = start + dur
+	s.res.H2DBusy += dur
+	s.res.SwapInBytes += t.Bytes()
+	s.block[t] = blk
+	s.state[t] = onDevice
+	s.readyAt[t] = s.th
+	if s.Opts.CollectTimeline {
+		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
+			Name: "swapin." + t.Name, Start: start, End: s.th,
+			MemUsed: s.pool.InUse(), Stream: "h2d",
+		})
+	}
+	return nil
+}
+
+// ensureInput makes t usable on device and returns the time it is
+// ready.
+func (s *Simulator) ensureInput(t *graph.Tensor, at float64) (float64, error) {
+	switch s.state[t] {
+	case onDevice:
+		return s.readyAt[t], nil
+	case onHost:
+		if err := s.startSwapIn(t, at); err != nil {
+			return 0, err
+		}
+		return s.readyAt[t], nil
+	case dropped:
+		return s.regenerate(t, at)
+	case unborn:
+		return 0, fmt.Errorf("input %s used before production", t.Name)
+	default:
+		return 0, fmt.Errorf("input %s already freed", t.Name)
+	}
+}
+
+// opDuration returns the compute-stream time of an unsplit operator,
+// with the CPU-offload special cases.
+func (s *Simulator) opDuration(op *graph.Op) float64 {
+	if op.Kind == graph.SGDUpdate && s.Plan.OffloadOptimizer {
+		// The update runs on the CPU (ZeRO-Offload); the GPU only
+		// synchronizes. Transfers are charged separately.
+		return 0
+	}
+	return s.Cost.OpTime(op)
+}
+
+// execWhole executes an unsplit operator.
+func (s *Simulator) execWhole(i int, op *graph.Op) error {
+	s.pin(op)
+	ready := s.tc
+	for _, in := range op.Inputs {
+		if s.skipInput(op, in) {
+			continue
+		}
+		r, err := s.ensureInput(in, s.tc)
+		if err != nil {
+			return err
+		}
+		if r > ready {
+			ready = r
+		}
+	}
+
+	var wsBlock *memorypool.Block
+	if op.Workspace > 0 {
+		blk, r, err := s.allocWait(op.Workspace, ready)
+		if err != nil {
+			return err
+		}
+		wsBlock, ready = &blk, r
+		s.hold(wsBlock)
+	}
+	for _, out := range op.Outputs {
+		blk, r, err := s.allocWait(out.Bytes(), ready)
+		if err != nil {
+			return err
+		}
+		ready = r
+		s.block[out] = blk
+		s.state[out] = onDevice
+	}
+
+	start := s.tc
+	if ready > start {
+		start = ready
+	}
+	dur := s.opDuration(op)
+	end := start + dur
+	s.tc = end
+	s.res.ComputeTime += dur
+	for _, out := range op.Outputs {
+		s.readyAt[out] = end
+	}
+	if wsBlock != nil {
+		s.pool.FreeBlock(*wsBlock)
+	}
+
+	// CPU-offload transfer charges.
+	if op.Kind == graph.SGDUpdate && (s.Plan.OffloadOptimizer || s.Plan.ShardParams) {
+		// Updated parameters return to the device for the next
+		// iteration; the copy overlaps the remaining backward pass.
+		p := op.Inputs[0]
+		dur := s.transfer(p.Bytes())
+		s.th += dur
+		s.res.H2DBusy += dur
+		s.res.SwapInBytes += p.Bytes()
+	}
+
+	if s.Opts.CollectTimeline {
+		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
+			OpIndex: i, Name: op.Name, Start: start, End: end, MemUsed: s.pool.InUse(),
+		})
+	}
+	return nil
+}
+
+// skipInput reports inputs that never materialize on device: optimizer
+// state under ZeRO-Offload (lives on the CPU) and parameter gradients
+// consumed by the CPU-side update.
+func (s *Simulator) skipInput(op *graph.Op, in *graph.Tensor) bool {
+	if op.Kind != graph.SGDUpdate || !s.Plan.OffloadOptimizer {
+		return false
+	}
+	return in.Kind == tensor.OptState || in.Kind == tensor.ParamGrad
+}

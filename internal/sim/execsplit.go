@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tsplit/internal/core"
+	"tsplit/internal/graph"
+	"tsplit/internal/memorypool"
+)
+
+// execSplit executes an operator as a sequence of p_num
+// micro-operators (paper Sec. V-A): carved inputs are partitioned in
+// place and freed (or streamed out) micro-part by micro-part as they
+// are consumed, micro-restored inputs stream in from the host one part
+// at a time, output micro-tensors accumulate and are merged, and
+// EarlyOut outputs begin their swap-out transfer while the remaining
+// micro-operators still execute.
+//
+// Output reassembly follows core.MergeModeFor: staged into the carved
+// input's freed slots (Fig. 8 memory reuse), staged through the
+// restore region of a same-size saved input, or — when neither reuse
+// applies — a physical merge copy into a fresh block.
+func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
+	pn := sp.PNum
+	in, out := core.SplitTensors(op, sp.Dim)
+	if in == nil || out == nil || pn < 2 {
+		return s.execWhole(i, op)
+	}
+	s.pin(op)
+
+	mode := core.MergeModeFor(op, sp)
+	stageTensor := core.RestoreStageTensor(op, sp)
+
+	microSet := make(map[*graph.Tensor]bool, len(sp.MicroIns))
+	for _, t := range sp.MicroIns {
+		if s.state[t] == onHost {
+			microSet[t] = true
+		}
+	}
+	if mode == core.MergeRestoreInPlace && (stageTensor == nil || !microSet[stageTensor]) {
+		mode = core.MergePhysical
+		stageTensor = nil
+	}
+
+	// Whole inputs (weights, non-streamable activations).
+	ready := s.tc
+	for _, t := range op.Inputs {
+		if microSet[t] || s.skipInput(op, t) {
+			continue
+		}
+		r, err := s.ensureInput(t, s.tc)
+		if err != nil {
+			return err
+		}
+		if r > ready {
+			ready = r
+		}
+	}
+
+	// Carve evict-as-consumed inputs in place.
+	type carvedInput struct {
+		t      *graph.Tensor
+		blocks []memorypool.Block
+	}
+	var carvedIns []carvedInput
+	if sp.InOpt != core.Reside {
+		for _, t := range []*graph.Tensor{in, sp.In2} {
+			if t == nil || s.state[t] != onDevice {
+				continue
+			}
+			blocks, err := s.pool.SplitUsed(s.block[t], pn)
+			if err != nil {
+				continue // too small to carve; keep whole
+			}
+			delete(s.block, t)
+			carvedIns = append(carvedIns, carvedInput{t, blocks})
+			for k := range blocks {
+				s.hold(&blocks[k])
+			}
+		}
+	}
+	if mode == core.MergeCarveInPlace && (len(carvedIns) == 0 || carvedIns[0].t != in) {
+		mode = core.MergePhysical
+	}
+
+	perPart, _ := s.Cost.SplitTimes(op, pn)
+	if effectiveKindOf(op) == graph.BatchNorm {
+		// Micro-tensor batch normalization: a second pass finalizes
+		// the batch statistics before normalizing each micro-tensor.
+		perPart += float64(in.Bytes()) / float64(pn) / s.Dev.MemBandwidth
+	}
+
+	var wsBlock *memorypool.Block
+	if ws := op.Workspace / int64(pn); ws > 0 {
+		blk, r, err := s.allocWait(ws, ready)
+		if err != nil {
+			return err
+		}
+		wsBlock, ready = &blk, r
+		s.hold(wsBlock)
+	}
+	// Reduction outputs (e.g. dW of a sample-split conv backward)
+	// accumulate across micro-operators: full-size from the start.
+	for _, o := range op.Outputs {
+		if o == out {
+			continue
+		}
+		blk, r, err := s.allocWait(o.Bytes(), ready)
+		if err != nil {
+			return err
+		}
+		ready = r
+		s.block[o] = blk
+		s.state[o] = onDevice
+	}
+
+	earlyOut := false
+	if sp.EarlyOut {
+		if tp, ok := s.Plan.Tensors[out.ID]; ok && tp.Opt == core.Swap {
+			earlyOut = true
+		}
+	}
+
+	outB := out.Bytes()
+	microOut := outB / int64(pn)
+	outSize := func(k int) int64 {
+		if k == pn-1 {
+			return outB - microOut*int64(pn-1)
+		}
+		return microOut
+	}
+
+	// Merge-mode set-up.
+	var restoreSlots []memorypool.Block // MergeRestoreInPlace region
+	var stageBuf *memorypool.Block      // staging buffer for both in-place modes
+	switch mode {
+	case core.MergeRestoreInPlace:
+		region, r, err := s.allocWait(outB, ready)
+		if err != nil {
+			return err
+		}
+		ready = r
+		slots, err := s.pool.SplitUsed(region, pn)
+		if err != nil {
+			return err
+		}
+		restoreSlots = slots
+		for k := range restoreSlots {
+			s.hold(&restoreSlots[k])
+		}
+	case core.MergeCarveInPlace:
+		// Verify the carved slots fit the staged micro-outputs.
+		for k, blk := range carvedIns[0].blocks {
+			if blk.Size < outSize(k) {
+				mode = core.MergePhysical
+				break
+			}
+		}
+	}
+	if mode != core.MergePhysical {
+		blk, r, err := s.allocWait(microOut+memorypool.Alignment, ready)
+		if err != nil {
+			mode = core.MergePhysical
+		} else {
+			stageBuf, ready = &blk, r
+			s.hold(stageBuf)
+		}
+	}
+	if mode == core.MergePhysical && restoreSlots != nil {
+		// Release the unusable region; fall back to scattered allocs.
+		for _, blk := range restoreSlots {
+			s.pool.FreeBlock(blk)
+		}
+		restoreSlots = nil
+	}
+
+	outBlocks := make([]memorypool.Block, 0, pn)
+	for k := 0; k < pn; k++ {
+		kready := ready
+		// Stream in this micro-part of each micro-restored input. The
+		// stage tensor's slice lands directly in slot k of the output
+		// region; others use scratch blocks freed after the micro-op.
+		microBlocks := make([]memorypool.Block, 0, len(sp.MicroIns))
+		for _, t := range sp.MicroIns {
+			if !microSet[t] {
+				continue
+			}
+			part := t.Bytes() / int64(pn)
+			if mode != core.MergeRestoreInPlace || t != stageTensor {
+				blk, r, err := s.allocWait(part, kready)
+				if err != nil {
+					return err
+				}
+				if r > kready {
+					kready = r
+				}
+				microBlocks = append(microBlocks, blk)
+				s.hold(&microBlocks[len(microBlocks)-1])
+			}
+			start := s.th
+			if kready > start {
+				start = kready
+			}
+			dur := s.transfer(part)
+			s.th = start + dur
+			s.res.H2DBusy += dur
+			s.res.SwapInBytes += part
+			if s.th > kready {
+				kready = s.th
+			}
+		}
+
+		// Micro output destination.
+		var oblk memorypool.Block
+		if mode == core.MergePhysical {
+			blk, r, err := s.allocWait(outSize(k), kready)
+			if err != nil {
+				return err
+			}
+			oblk = blk
+			if r > kready {
+				kready = r
+			}
+		}
+		s.hold(&oblk)
+
+		start := s.tc
+		if kready > start {
+			start = kready
+		}
+		end := start + perPart
+		s.tc = end
+		s.res.ComputeTime += perPart
+
+		// Retire this micro-part of the carved inputs; in carve-staging
+		// mode the primary input's freed slot receives the staged
+		// micro-output (one micro-sized copy).
+		for _, c := range carvedIns {
+			blk := c.blocks[k]
+			switch {
+			case mode == core.MergeCarveInPlace && c.t == in:
+				s.pool.FreeBlock(blk)
+				ab, err := s.pool.AllocAt(blk.Offset, outSize(k))
+				if err != nil {
+					ab, _, err = s.allocWait(outSize(k), s.tc)
+					if err != nil {
+						return err
+					}
+				}
+				s.chargeCopy(outSize(k))
+				oblk = ab
+			case sp.InOpt == core.Swap:
+				ds := s.td
+				if end > ds {
+					ds = end
+				}
+				dur := s.transfer(blk.Size)
+				s.td = ds + dur
+				s.res.D2HBusy += dur
+				s.res.SwapOutBytes += blk.Size
+				heap.Push(&s.pending, freeEvent{at: s.td, block: blk, t: c.t})
+			default:
+				s.pool.FreeBlock(blk)
+			}
+		}
+		if mode == core.MergeRestoreInPlace {
+			// Overwrite slot k (holding the consumed restore slice)
+			// with the staged micro-output.
+			s.chargeCopy(outSize(k))
+			oblk = restoreSlots[k]
+		}
+		outBlocks = append(outBlocks, oblk)
+		for _, blk := range microBlocks {
+			s.pool.FreeBlock(blk)
+		}
+		if earlyOut {
+			ds := s.td
+			if end > ds {
+				ds = end
+			}
+			dur := s.transfer(outSize(k))
+			s.td = ds + dur
+			s.res.D2HBusy += dur
+			s.res.SwapOutBytes += outSize(k)
+		}
+	}
+
+	// Carved inputs have fully left the device.
+	for _, c := range carvedIns {
+		switch {
+		case sp.InOpt == core.Swap:
+			s.state[c.t] = onHost
+		case s.remaining[c.t] > 1 || hasUseAfter(s, c.t, i):
+			s.state[c.t] = dropped
+		default:
+			s.state[c.t] = freed
+		}
+	}
+
+	if stageBuf != nil {
+		s.pool.FreeBlock(*stageBuf)
+	}
+
+	// Merge the output micro-tensors for the (unsplit) consumer.
+	if merged, ok := s.pool.MergeUsed(outBlocks); ok {
+		s.block[out] = merged
+	} else {
+		blk, r, err := s.allocWait(outB, s.tc)
+		if err != nil {
+			return fmt.Errorf("merging %s: %w", out.Name, err)
+		}
+		start := s.tc
+		if r > start {
+			start = r
+		}
+		s.tc = start
+		s.chargeCopy(outB)
+		for _, b := range outBlocks {
+			s.pool.FreeBlock(b)
+		}
+		s.block[out] = blk
+	}
+	s.state[out] = onDevice
+	s.readyAt[out] = s.tc
+	for _, o := range op.Outputs {
+		s.readyAt[o] = s.tc
+	}
+	if earlyOut {
+		s.earlyCopied[out] = true
+	}
+	if wsBlock != nil {
+		s.pool.FreeBlock(*wsBlock)
+	}
+	if s.Opts.CollectTimeline {
+		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
+			OpIndex: i, Name: op.Name + fmt.Sprintf("[split %d]", pn),
+			Start: ready, End: s.tc, MemUsed: s.pool.InUse(),
+		})
+	}
+	return nil
+}
+
+// chargeCopy advances the compute stream by a device-to-device copy of
+// the given size.
+func (s *Simulator) chargeCopy(bytes int64) {
+	t := float64(bytes) / s.Dev.MemBandwidth
+	s.tc += t
+	s.res.ComputeTime += t
+}
+
+// effectiveKindOf resolves GradOps to their forward kind.
+func effectiveKindOf(op *graph.Op) graph.OpKind {
+	if op.Kind == graph.GradOp && op.FwdOp != nil {
+		return op.FwdOp.Kind
+	}
+	return op.Kind
+}
+
+// hasUseAfter reports whether t has any consumer scheduled after i.
+func hasUseAfter(s *Simulator, t *graph.Tensor, i int) bool {
+	for _, c := range t.Consumers {
+		if s.Sched.Index[c] > i {
+			return true
+		}
+	}
+	return false
+}

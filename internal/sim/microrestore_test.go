@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"tsplit/internal/core"
+	"tsplit/internal/graph"
+	"tsplit/internal/models"
+)
+
+// frontierPlan plans vgg16 near its feasibility frontier, where
+// micro-granular restore and split staging are exercised.
+func frontierPlan(t *testing.T, batch int) (*bed, *core.Plan) {
+	t.Helper()
+	b := mkbed(t, "vgg16", models.Config{BatchSize: batch})
+	plan, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev, core.Options{}).Plan()
+	if err != nil {
+		t.Skipf("planner: %v", err)
+	}
+	return b, plan
+}
+
+func TestMicroRestorePlansExecute(t *testing.T) {
+	b, plan := frontierPlan(t, 440)
+	micro := 0
+	for _, tp := range plan.Tensors {
+		if tp.MicroRestore > 1 {
+			micro++
+		}
+	}
+	if micro == 0 {
+		t.Skip("no micro-restore decisions at this scale")
+	}
+	r, err := New(b.g, b.sched, b.lv, plan, b.dev, Options{Recompute: LRURecompute}).Run()
+	if err != nil {
+		t.Fatalf("micro-restore plan does not execute: %v", err)
+	}
+	if r.PeakBytes > b.dev.MemBytes {
+		t.Fatal("over capacity")
+	}
+	// Streamed restores must show up as H2D traffic.
+	if r.SwapInBytes == 0 {
+		t.Fatal("no swap-in traffic despite micro-restores")
+	}
+}
+
+func TestEarlyOutMarksOutputsCopied(t *testing.T) {
+	b, plan := frontierPlan(t, 440)
+	early := false
+	for _, sp := range plan.Splits {
+		if sp.EarlyOut {
+			early = true
+		}
+	}
+	if !early {
+		t.Skip("no early-out splits at this scale")
+	}
+	if _, err := New(b.g, b.sched, b.lv, plan, b.dev, Options{Recompute: LRURecompute}).Run(); err != nil {
+		t.Fatalf("early-out plan does not execute: %v", err)
+	}
+}
+
+func TestPlannerAblationKnobs(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 128})
+	cap := b.lv.Peak * 80 / 100
+	// Swap-only plans must contain no recompute eviction decisions.
+	plan, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev,
+		core.Options{Capacity: cap, DisableRecompute: true, FragmentationReserve: -1}).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range plan.Tensors {
+		if tp.Opt == core.Recompute && tp.RestoreAt >= 0 && len(plan.Splits) == 0 {
+			t.Fatalf("swap-only plan recomputes %s", tp.Tensor.Name)
+		}
+	}
+	// Largest-first must also converge.
+	if _, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev,
+		core.Options{Capacity: cap, PreferLargest: true, FragmentationReserve: -1}).Plan(); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled tie-break must also converge.
+	if _, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev,
+		core.Options{Capacity: cap, DisableGenTieBreak: true, FragmentationReserve: -1}).Plan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffloadComposedPlanner(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 96, Optimizer: graph.Adam})
+	plan, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev,
+		core.Options{OffloadOptimizer: true, FragmentationReserve: -1}).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.OffloadOptimizer || plan.Name != "tsplit-offload" {
+		t.Fatal("offload flag not set by planner")
+	}
+	r, err := New(b.g, b.sched, b.lv, plan, b.dev, Options{Recompute: LRURecompute}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(b.g, b.sched, b.lv, core.NewPlan("base", b.dev), b.dev, Options{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakBytes >= base.PeakBytes {
+		t.Fatal("offloading the optimizer must reduce the resident peak")
+	}
+}

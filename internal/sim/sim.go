@@ -1,0 +1,297 @@
+// Package sim is TSPLIT's deep-learning runtime (paper Sec. V-D) over
+// the simulated device: a discrete-event executor with the same stream
+// architecture as the real system — one compute stream plus dedicated
+// D2H and H2D copy streams with event-based synchronization — a pooled
+// best-fit device allocator, swap-out/swap-in with prefetching,
+// memory-centric / speed-centric / LRU recomputation, and split
+// operators executed as micro-operator sequences with micro-granular
+// eviction and streaming restore.
+//
+// The simulator consumes a graph, its schedule, and a memory plan
+// (from TSPLIT's planner or any baseline planner) and produces the
+// measurements the paper's evaluation reports: iteration time,
+// throughput, peak memory, PCIe busy time, stall time, swap and
+// recompute volumes — or an OOM failure when the plan does not
+// actually fit, which is the ground truth behind the × entries of
+// Tables IV-VII.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tsplit/internal/core"
+	"tsplit/internal/costmodel"
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/memorypool"
+)
+
+// RecomputeStrategy selects how regenerated forward subgraphs manage
+// their intermediate tensors (paper Sec. V-D "Recomputation
+// Implementation").
+type RecomputeStrategy int
+
+const (
+	// MemoryCentric re-executes the forward dependency chain for every
+	// backward consumer and frees all intermediates immediately:
+	// O(N²) extra compute, O(1) extra memory. The paper's default.
+	MemoryCentric RecomputeStrategy = iota
+	// SpeedCentric recomputes each dropped tensor once and keeps it on
+	// device until its last use: O(N) compute, O(N) memory.
+	SpeedCentric
+	// LRURecompute behaves speed-centric while memory lasts and evicts
+	// the least-recently-used cached recomputation when the pool runs
+	// dry (the paper's hybrid optimization).
+	LRURecompute
+)
+
+// String names the strategy.
+func (r RecomputeStrategy) String() string {
+	switch r {
+	case MemoryCentric:
+		return "memory-centric"
+	case SpeedCentric:
+		return "speed-centric"
+	default:
+		return "lru"
+	}
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Capacity overrides the device memory size (0 = dev.MemBytes).
+	Capacity int64
+	// Recompute selects the recomputation strategy (default
+	// MemoryCentric, the paper's choice).
+	Recompute RecomputeStrategy
+	// PoolStrategy selects the allocator placement policy.
+	PoolStrategy memorypool.Strategy
+	// CollectTimeline records a per-op memory/time trace (Fig. 2(a)).
+	CollectTimeline bool
+}
+
+// Result is the outcome of simulating one training iteration.
+type Result struct {
+	// Time is the wall-clock iteration time in seconds (compute stream
+	// completion, including stalls).
+	Time float64
+	// ComputeTime is the busy time of the compute stream.
+	ComputeTime float64
+	// StallTime is Time minus the no-memory-management compute time —
+	// the ΔT the plan actually cost, including recompute work.
+	StallTime float64
+	// D2HBusy and H2DBusy are the copy-stream busy times.
+	D2HBusy, H2DBusy float64
+	// PCIeUtilization is the mean utilization of the two directions
+	// over the iteration.
+	PCIeUtilization float64
+	// PeakBytes is the maximum pool usage observed.
+	PeakBytes int64
+	// SwapOutBytes / SwapInBytes are total transfer volumes.
+	SwapOutBytes, SwapInBytes int64
+	// RecomputedOps counts re-executed forward operators.
+	RecomputedOps int
+	// Compactions counts pool defragmentation passes and MovedBytes
+	// the data they migrated.
+	Compactions int
+	MovedBytes  int64
+	// RecomputeTime is compute time spent on regeneration.
+	RecomputeTime float64
+	// Timeline holds (per schedule step) the pool usage after the op
+	// issued, when CollectTimeline is set.
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one sample of the execution trace.
+type TimelinePoint struct {
+	OpIndex int
+	Name    string
+	Start   float64
+	End     float64
+	MemUsed int64
+	// Stream identifies the lane: "compute" (default), "d2h", "h2d".
+	Stream string
+}
+
+// Throughput converts a result to samples/second for a batch size.
+func (r Result) Throughput(batch int) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(batch) / r.Time
+}
+
+// tensorState tracks where a tensor's bytes currently are.
+type tensorState int
+
+const (
+	unborn tensorState = iota
+	onDevice
+	onHost  // swapped out; host copy valid
+	dropped // evicted for recompute; must be regenerated
+	freed   // dead for the rest of the iteration
+)
+
+// ErrOOM wraps allocation failures: the plan does not fit.
+var ErrOOM = fmt.Errorf("sim: out of device memory")
+
+// freeEvent is a pending deferred free (a swap-out completing).
+type freeEvent struct {
+	at    float64
+	block memorypool.Block
+	t     *graph.Tensor
+}
+
+type freeHeap []freeEvent
+
+func (h freeHeap) Len() int            { return len(h) }
+func (h freeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(freeEvent)) }
+func (h *freeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator executes one training iteration of a planned graph.
+type Simulator struct {
+	G     *graph.Graph
+	Sched *graph.Schedule
+	Lv    *graph.Liveness
+	Plan  *core.Plan
+	Dev   device.Device
+	Cost  *costmodel.Model
+	Opts  Options
+
+	pool    *memorypool.Pool
+	state   map[*graph.Tensor]tensorState
+	block   map[*graph.Tensor]memorypool.Block
+	readyAt map[*graph.Tensor]float64
+	// remaining schedule uses per tensor.
+	remaining map[*graph.Tensor]int
+	// wasRecomputed marks tensors whose device copy came from a
+	// regeneration (for memory-centric re-dropping).
+	wasRecomputed map[*graph.Tensor]bool
+	// earlyCopied marks tensors whose bytes already streamed to the
+	// host during their (EarlyOut-split) producer.
+	earlyCopied map[*graph.Tensor]bool
+	// lruCache orders speed-centric/LRU cached regenerations.
+	lruCache []*graph.Tensor
+
+	// stream clocks.
+	tc, td, th float64
+
+	// prefetch agenda: schedule index -> tensors to start swapping in.
+	prefetch map[int][]*graph.Tensor
+	// pending holds deferred frees (swap-outs still in flight).
+	pending freeHeap
+	// locals registers pointers to block variables held by the
+	// currently executing operator, so pool compaction can remap them
+	// alongside s.block and s.pending. Cleared after every operator.
+	locals []*memorypool.Block
+	// pinned marks tensors the currently executing operator touches;
+	// the allocator's pressure valve may not evict them.
+	pinned map[*graph.Tensor]bool
+
+	// compactions counts defragmentation passes this run (bounded to
+	// stop pathological thrash).
+	compactions int
+
+	res Result
+}
+
+// maxCompactions bounds defragmentation passes per iteration.
+const maxCompactions = 64
+
+// hold registers a local block pointer for compaction remapping.
+func (s *Simulator) hold(b *memorypool.Block) { s.locals = append(s.locals, b) }
+
+// clearLocals drops local registrations after an operator completes.
+func (s *Simulator) clearLocals() {
+	s.locals = s.locals[:0]
+	for t := range s.pinned {
+		delete(s.pinned, t)
+	}
+}
+
+// pin protects the tensors an operator touches from pressure eviction
+// while it executes.
+func (s *Simulator) pin(op *graph.Op) {
+	for _, t := range op.Inputs {
+		s.pinned[t] = true
+	}
+	for _, t := range op.Outputs {
+		s.pinned[t] = true
+	}
+}
+
+// New builds a simulator for one (graph, schedule, plan, device).
+func New(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, plan *core.Plan, dev device.Device, opts Options) *Simulator {
+	if opts.Capacity == 0 {
+		opts.Capacity = dev.MemBytes
+	}
+	return &Simulator{
+		G: g, Sched: sched, Lv: lv, Plan: plan, Dev: dev,
+		Cost: costmodel.New(dev), Opts: opts,
+	}
+}
+
+// transfer returns PCIe seconds for a byte count.
+func (s *Simulator) transfer(b int64) float64 { return float64(b) / s.Dev.PCIeBandwidth }
+
+func (s *Simulator) reset() {
+	s.pool = memorypool.New(s.Opts.Capacity, s.Opts.PoolStrategy)
+	s.state = make(map[*graph.Tensor]tensorState, len(s.G.Tensors))
+	s.block = make(map[*graph.Tensor]memorypool.Block, len(s.G.Tensors))
+	s.readyAt = make(map[*graph.Tensor]float64, len(s.G.Tensors))
+	s.remaining = make(map[*graph.Tensor]int, len(s.G.Tensors))
+	s.wasRecomputed = make(map[*graph.Tensor]bool)
+	s.earlyCopied = make(map[*graph.Tensor]bool)
+	s.pinned = make(map[*graph.Tensor]bool)
+	s.lruCache = nil
+	s.tc, s.td, s.th = 0, 0, 0
+	s.compactions = 0
+	s.locals = nil
+	s.pending = nil
+	heap.Init(&s.pending)
+	s.res = Result{}
+	s.prefetch = make(map[int][]*graph.Tensor)
+	for _, tp := range s.Plan.Tensors {
+		if tp.Opt == core.Swap && tp.MicroRestore <= 1 && tp.RestoreAt >= 0 {
+			at := tp.PrefetchAt
+			if at < 0 || at > tp.RestoreAt {
+				at = tp.RestoreAt
+			}
+			s.prefetch[at] = append(s.prefetch[at], tp.Tensor)
+		}
+	}
+	for _, t := range s.G.Tensors {
+		s.remaining[t] = len(t.Consumers)
+	}
+}
+
+// PoolLayout exposes the allocator layout for diagnostics.
+func (s *Simulator) PoolLayout(rows int) string {
+	if s.pool == nil {
+		return ""
+	}
+	return s.pool.DumpLayout(rows)
+}
+
+// DeviceResidents lists tensors currently on device at least minBytes
+// large, for diagnostics.
+func (s *Simulator) DeviceResidents(minBytes int64) []string {
+	var out []string
+	for t, st := range s.state {
+		if st == onDevice && t.Bytes() >= minBytes {
+			out = append(out, fmt.Sprintf("%-28s %7.2f GiB", t.Name, float64(t.Bytes())/(1<<30)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

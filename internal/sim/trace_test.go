@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tsplit/internal/models"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := b.baseline(t, "vdnn-all")
+	r := b.run(t, plan, Options{CollectTimeline: true})
+	// Copy streams must contribute events.
+	streams := map[string]bool{}
+	for _, p := range r.Timeline {
+		streams[p.Stream] = true
+	}
+	if !streams["d2h"] || !streams["h2d"] {
+		t.Fatalf("missing copy-stream events: %v", streams)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != len(r.Timeline) {
+		t.Fatalf("%d events for %d points", len(tr.TraceEvents), len(r.Timeline))
+	}
+	tids := map[int]bool{}
+	for _, e := range tr.TraceEvents {
+		if e.Dur < 0 {
+			t.Fatal("negative duration")
+		}
+		tids[e.TID] = true
+	}
+	if len(tids) != 3 {
+		t.Fatalf("expected 3 stream lanes, got %v", tids)
+	}
+}

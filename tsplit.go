@@ -1,0 +1,236 @@
+// Package tsplit is a reproduction of "TSPLIT: Fine-grained GPU Memory
+// Management for Efficient DNN Training via Tensor Splitting"
+// (Nie, Miao, Yang, Cui — ICDE 2022) as a pure-Go library.
+//
+// It provides:
+//
+//   - a dataflow-graph representation of DNN training with automatic
+//     backward-pass generation and a model zoo (VGG, ResNet,
+//     Inception-V4, Transformer/BERT);
+//   - simulated GPU devices (Titan RTX, GTX 1080Ti, V100, P100) with
+//     an analytic kernel cost model standing in for cudaEvent
+//     profiling;
+//   - TSPLIT's contribution: the splittable-tensor (sTensor) model and
+//     the model-guided planner that jointly optimizes tensor splitting
+//     with swap/recompute decisions (paper Algorithm 2);
+//   - the baseline policies it is evaluated against (vDNN, gradient
+//     checkpointing, SuperNeurons, ZeRO-Offload, FairScale-Offload);
+//   - a discrete-event runtime (streams, PCIe, best-fit pool) that
+//     measures throughput, peak memory, and PCIe utilization — or
+//     reports OOM when a policy cannot train a configuration;
+//   - a real float32 engine that executes plans on actual values for
+//     end-to-end numeric validation.
+//
+// Quick start:
+//
+//	w, err := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 256}, tsplit.TitanRTX)
+//	plan, err := w.Plan(tsplit.PlanOptions{})
+//	report, err := w.Run(plan)
+//	fmt.Printf("%.1f images/s, peak %.1f GiB\n", report.Throughput, report.PeakGiB)
+package tsplit
+
+import (
+	"fmt"
+	"io"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/models"
+	"tsplit/internal/profiler"
+	"tsplit/internal/sim"
+)
+
+// Re-exported fundamental types. The internal packages carry the
+// implementation; these aliases are the supported public surface.
+type (
+	// Device is a simulated accelerator profile.
+	Device = device.Device
+	// Graph is a training dataflow graph.
+	Graph = graph.Graph
+	// Plan is a memory-management strategy configuration.
+	Plan = core.Plan
+	// ModelConfig scales a zoo model (batch size, parameter scale...).
+	ModelConfig = models.Config
+	// SimResult is the raw runtime measurement set.
+	SimResult = sim.Result
+)
+
+// Built-in device profiles (paper Sec. VI-A plus the Fig. 1 GPUs).
+var (
+	TitanRTX  = device.TitanRTX
+	GTX1080Ti = device.GTX1080Ti
+	V100      = device.V100
+	P100      = device.P100
+)
+
+// Models lists the built-in model zoo names.
+func Models() []string { return models.Names() }
+
+// Baselines lists the built-in baseline policy names.
+func Baselines() []string { return append([]string{}, baselines.Names...) }
+
+// PlanOptions tunes the TSPLIT planner.
+type PlanOptions struct {
+	// CapacityBytes overrides the device memory budget (0 = device).
+	CapacityBytes int64
+	// DisableSplit turns the planner into the "TSPLIT w/o Split"
+	// ablation (swap/recompute only, cost-model guided).
+	DisableSplit bool
+	// PNums overrides the split-count search space.
+	PNums []int
+}
+
+// Workload is a model prepared for planning and execution on a device:
+// graph, schedule, liveness, and profile.
+type Workload struct {
+	Name  string
+	Cfg   ModelConfig
+	Dev   Device
+	G     *Graph
+	Sched *graph.Schedule
+	Lv    *graph.Liveness
+	Prof  *profiler.Profile
+}
+
+// Load builds and profiles a zoo model for a device.
+func Load(model string, cfg ModelConfig, dev Device) (*Workload, error) {
+	g, err := models.Build(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(model, g, dev, cfg)
+}
+
+// FromGraph prepares a user-built graph (see package graph builders)
+// for planning on a device.
+func FromGraph(name string, g *Graph, dev Device, cfg ModelConfig) (*Workload, error) {
+	sched, err := graph.BuildSchedule(g)
+	if err != nil {
+		return nil, err
+	}
+	lv := graph.AnalyzeLiveness(g, sched)
+	return &Workload{
+		Name: name, Cfg: cfg, Dev: dev,
+		G: g, Sched: sched, Lv: lv, Prof: profiler.New(dev, sched),
+	}, nil
+}
+
+// BaselinePeakBytes returns the unmanaged memory requirement (the Base
+// policy's peak, paper Sec. IV-A M_i curve maximum).
+func (w *Workload) BaselinePeakBytes() int64 { return w.Lv.Peak }
+
+// IdealTime returns the profiled iteration time with no memory
+// management (paper T = Σ T_i).
+func (w *Workload) IdealTime() float64 { return w.Prof.Total() }
+
+// Plan runs TSPLIT's model-guided planner (paper Algorithm 2).
+func (w *Workload) Plan(opts PlanOptions) (*Plan, error) {
+	pl := core.NewPlanner(w.G, w.Sched, w.Lv, w.Prof, w.Dev, core.Options{
+		Capacity:     opts.CapacityBytes,
+		DisableSplit: opts.DisableSplit,
+		PNums:        opts.PNums,
+	})
+	return pl.Plan()
+}
+
+// PlanBaseline produces a baseline policy's plan ("base", "vdnn-conv",
+// "vdnn-all", "checkpoints", "superneurons", "zero-offload",
+// "fairscale-offload").
+func (w *Workload) PlanBaseline(policy string) (*Plan, error) {
+	b, ok := baselines.Registry[policy]
+	if !ok {
+		return nil, fmt.Errorf("tsplit: unknown baseline %q (have %v)", policy, baselines.Names)
+	}
+	return b(baselines.Inputs{G: w.G, Sched: w.Sched, Lv: w.Lv, Prof: w.Prof, Dev: w.Dev})
+}
+
+// Report is a human-oriented summary of one simulated iteration.
+type Report struct {
+	// Throughput in samples/second.
+	Throughput float64
+	// IterationSeconds is the wall-clock time of one iteration.
+	IterationSeconds float64
+	// Overhead is the slowdown versus the ideal (unmanaged) run.
+	Overhead float64
+	// PeakGiB is the peak device memory used.
+	PeakGiB float64
+	// PCIeUtilization is the mean utilization of the two directions.
+	PCIeUtilization float64
+	// SwapGiB / RecomputedOps summarize memory traffic.
+	SwapGiB       float64
+	RecomputedOps int
+	// Raw carries every runtime counter.
+	Raw SimResult
+}
+
+// Run simulates one training iteration under the plan and returns the
+// measurements, or an error when the plan does not fit the device
+// (OOM — the configuration cannot train).
+func (w *Workload) Run(plan *Plan) (Report, error) {
+	res, err := sim.New(w.G, w.Sched, w.Lv, plan, w.Dev, sim.Options{
+		Recompute: sim.LRURecompute,
+	}).Run()
+	if err != nil {
+		return Report{}, err
+	}
+	ideal := w.Prof.Total()
+	r := Report{
+		Throughput:       res.Throughput(w.Cfg.BatchSize),
+		IterationSeconds: res.Time,
+		PeakGiB:          float64(res.PeakBytes) / (1 << 30),
+		PCIeUtilization:  res.PCIeUtilization,
+		SwapGiB:          float64(res.SwapOutBytes+res.SwapInBytes) / (1 << 30),
+		RecomputedOps:    res.RecomputedOps,
+		Raw:              res,
+	}
+	if ideal > 0 {
+		r.Overhead = (res.Time - ideal) / ideal
+	}
+	return r, nil
+}
+
+// AutoPlan runs the full plan → trial-execution → replan loop: when
+// the runtime validation hits allocator fragmentation, the planner
+// retries against a larger reserve (how the real system iterates
+// between profiling and planning). It returns the first plan that
+// executes, along with its measurements.
+func (w *Workload) AutoPlan(opts PlanOptions) (*Plan, Report, error) {
+	var lastErr error
+	cap := opts.CapacityBytes
+	if cap == 0 {
+		cap = w.Dev.MemBytes
+	}
+	for _, reserve := range []int64{0, cap * 6 / 100, cap * 13 / 100, cap * 21 / 100, -1} {
+		pl := core.NewPlanner(w.G, w.Sched, w.Lv, w.Prof, w.Dev, core.Options{
+			Capacity:             opts.CapacityBytes,
+			DisableSplit:         opts.DisableSplit,
+			PNums:                opts.PNums,
+			FragmentationReserve: reserve,
+		})
+		plan, err := pl.Plan()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, err := w.Run(plan)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return plan, rep, nil
+	}
+	return nil, Report{}, fmt.Errorf("tsplit: no feasible plan: %w", lastErr)
+}
+
+// Augment materializes a plan as an augmented dataflow graph with
+// split / merge / swap / recompute operators and control edges (paper
+// Fig. 10), for export or inspection.
+func (w *Workload) Augment(plan *Plan) (*core.Augmented, error) {
+	return core.Augment(w.G, w.Sched, w.Lv, plan)
+}
+
+// ExportPlanJSON serializes a plan for framework integrations (the
+// paper's Sec. VI-D conversion path).
+func ExportPlanJSON(w io.Writer, plan *Plan) error { return core.ExportJSON(w, plan) }

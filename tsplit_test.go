@@ -1,0 +1,124 @@
+package tsplit_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsplit"
+)
+
+func TestLoadAndRun(t *testing.T) {
+	w, err := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 32}, tsplit.TitanRTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BaselinePeakBytes() <= 0 || w.IdealTime() <= 0 {
+		t.Fatal("workload not profiled")
+	}
+	plan, err := w.Plan(tsplit.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.PeakGiB <= 0 {
+		t.Fatalf("report %+v incomplete", rep)
+	}
+}
+
+func TestLoadUnknownModel(t *testing.T) {
+	if _, err := tsplit.Load("nope", tsplit.ModelConfig{}, tsplit.TitanRTX); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestModelAndBaselineLists(t *testing.T) {
+	ms := tsplit.Models()
+	if len(ms) < 6 {
+		t.Fatalf("model zoo too small: %v", ms)
+	}
+	bs := tsplit.Baselines()
+	if len(bs) != 7 {
+		t.Fatalf("baselines: %v", bs)
+	}
+}
+
+func TestPlanBaseline(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 16}, tsplit.TitanRTX)
+	for _, pol := range tsplit.Baselines() {
+		if _, err := w.PlanBaseline(pol); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+	if _, err := w.PlanBaseline("nope"); err == nil {
+		t.Fatal("unknown baseline must fail")
+	}
+}
+
+func TestRunReportsOOM(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 512}, tsplit.TitanRTX)
+	plan, _ := w.PlanBaseline("base")
+	if _, err := w.Run(plan); err == nil {
+		t.Fatal("vgg16 batch 512 unmanaged must OOM on 24 GB")
+	}
+}
+
+func TestAutoPlanBeatsPlainPlanOnHardCases(t *testing.T) {
+	w, err := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 192}, tsplit.GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, rep, err := w.AutoPlan(tsplit.PlanOptions{})
+	if err != nil {
+		t.Fatalf("autoplan: %v", err)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	if plan.Counts().Swap+plan.Counts().Recompute == 0 {
+		t.Fatal("an 11 GB device must force evictions at batch 192")
+	}
+}
+
+func TestDisableSplitAblation(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 96}, tsplit.GTX1080Ti)
+	plan, _, err := w.AutoPlan(tsplit.PlanOptions{DisableSplit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Splits) != 0 {
+		t.Fatal("ablation plan contains splits")
+	}
+}
+
+func TestAugmentExport(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 96}, tsplit.GTX1080Ti)
+	plan, _, err := w.AutoPlan(tsplit.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := w.Augment(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ag.G.Ops) < len(w.G.Ops) {
+		t.Fatal("augmented graph lost operators")
+	}
+	if !strings.Contains(plan.Describe(), "MiB") {
+		t.Fatal("describe output unexpected")
+	}
+}
+
+func TestFromGraphCustomModel(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 8}, tsplit.TitanRTX)
+	// Re-wrap the same graph via FromGraph.
+	w2, err := tsplit.FromGraph("custom", w.G, tsplit.V100, tsplit.ModelConfig{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.BaselinePeakBytes() != w.BaselinePeakBytes() {
+		t.Fatal("same graph, different peak")
+	}
+}
