@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per planner benchmark: a smoke check that the
+# benchmarks build and run, not a measurement (use -benchtime=5x or
+# more for numbers worth recording in bench_results.txt).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlannerPlan' -benchtime 1x .
+
+ci: vet build race bench

@@ -9,6 +9,7 @@ package tsplit_test
 import (
 	"testing"
 
+	"tsplit/internal/core"
 	"tsplit/internal/device"
 	"tsplit/internal/experiments"
 	"tsplit/internal/models"
@@ -226,6 +227,48 @@ func BenchmarkAblation_SplitVsNoSplit(b *testing.B) {
 func tsplitModelConfig(batch int) (c modelsConfig) {
 	c.BatchSize = batch
 	return
+}
+
+// --- planner hot-path benchmarks (perf trajectory) ---
+
+// benchPlannerPlan times Planner.Plan alone (workload preparation is
+// outside the timer) under real memory pressure: the capacity is a
+// fraction of the unmanaged peak, so the greedy loop must commit many
+// decisions. serial selects the reference single-threaded
+// full-rebuild path; the default exercises the incremental curve and
+// the parallel candidate scoring.
+func benchPlannerPlan(b *testing.B, model string, batch, pctOfPeak int, serial bool) {
+	b.Helper()
+	p, err := experiments.Prepare(model, tsplitModelConfig(batch), device.TitanRTX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap := p.Lv.Peak * int64(pctOfPeak) / 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.Options{Capacity: cap, FragmentationReserve: -1, Serial: serial}
+		if _, err := core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev, opts).Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerPlan_VGG16(b *testing.B)    { benchPlannerPlan(b, "vgg16", 256, 60, false) }
+func BenchmarkPlannerPlan_ResNet50(b *testing.B) { benchPlannerPlan(b, "resnet50", 256, 60, false) }
+func BenchmarkPlannerPlan_BERTLarge(b *testing.B) {
+	benchPlannerPlan(b, "bert-large", 64, 60, false)
+}
+
+// The _Serial variants run the pre-change planner configuration
+// (single-threaded scoring, full memory-curve rebuild every iteration)
+// on the same workloads, so the speedup is tracked in bench_results.txt.
+func BenchmarkPlannerPlan_VGG16_Serial(b *testing.B) { benchPlannerPlan(b, "vgg16", 256, 60, true) }
+func BenchmarkPlannerPlan_ResNet50_Serial(b *testing.B) {
+	benchPlannerPlan(b, "resnet50", 256, 60, true)
+}
+func BenchmarkPlannerPlan_BERTLarge_Serial(b *testing.B) {
+	benchPlannerPlan(b, "bert-large", 64, 60, true)
 }
 
 // BenchmarkAblation_DesignChoices runs every DESIGN.md §4 ablation

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"tsplit/internal/graph"
-	"tsplit/internal/profiler"
 	"tsplit/internal/tensor"
 )
 
@@ -102,38 +101,6 @@ func uses(t *graph.Tensor, sched *graph.Schedule) []int {
 	return idx
 }
 
-// evictionWindow returns (evictAt, restoreAt) for evicting t around the
-// bottleneck index i: the last use strictly before i and the first use
-// at-or-after i. ok is false when t is not evictable around i (it is
-// used at i itself, produced at-or-after i, or never used again).
-func evictionWindow(t *graph.Tensor, sched *graph.Schedule, lv *graph.Liveness, i int) (evictAt, restoreAt int, ok bool) {
-	first := lv.FirstUse[t]
-	if first >= i { // not yet produced, or produced at the bottleneck
-		return 0, 0, false
-	}
-	evictAt = first
-	if evictAt < 0 {
-		evictAt = 0
-	}
-	restoreAt = -1
-	for _, u := range uses(t, sched) {
-		switch {
-		case u == i:
-			return 0, 0, false // input of the bottleneck op itself
-		case u < i:
-			if u > evictAt {
-				evictAt = u
-			}
-		case restoreAt == -1:
-			restoreAt = u
-		}
-	}
-	if restoreAt == -1 {
-		return 0, 0, false // dead after i anyway; eviction frees nothing new
-	}
-	return evictAt, restoreAt, true
-}
-
 // RecomputeChain returns the forward operators that must re-execute to
 // rebuild t, in execution order, walking producers until every leaf
 // input satisfies avail. maxLen bounds the chain (beyond it recompute
@@ -171,35 +138,6 @@ func RecomputeChain(t *graph.Tensor, avail func(*graph.Tensor) bool, maxLen int)
 	return chain, nil
 }
 
-// availFn builds the availability predicate for recompute chains under
-// the current plan at backward index r: parameters and staged inputs
-// are always available; feature maps are available when the plan keeps
-// them resident through r, or restores them (swap) at or before r.
-func availFn(p *Plan, lv *graph.Liveness, r int) func(*graph.Tensor) bool {
-	return func(t *graph.Tensor) bool {
-		switch t.Kind {
-		case tensor.Parameter, tensor.OptState:
-			return !p.ShardParams
-		case tensor.Input:
-			if tp, ok := p.Tensors[t.ID]; ok && tp.Opt != Reside {
-				return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= r
-			}
-			return true
-		case tensor.FeatureMap:
-			tp, ok := p.Tensors[t.ID]
-			if !ok || tp.Opt == Reside {
-				return lv.FirstUse[t] <= r && r <= lv.LastUse[t]
-			}
-			// A micro-restored tensor only ever returns in fragments
-			// streamed into its split consumer; chains may not pull it
-			// back whole.
-			return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= r && r <= lv.LastUse[t]
-		default:
-			return false
-		}
-	}
-}
-
 // chainTransientBytes estimates the extra device memory a
 // regeneration of t needs while its chain executes. Under the
 // LRU-hybrid runtime (paper Sec. V-D) chain intermediates are shed as
@@ -222,27 +160,3 @@ func chainTransientBytes(chain []*graph.Op, t *graph.Tensor) int64 {
 	return max
 }
 
-// chainCost sums the profiled forward time of a recompute chain.
-func chainCost(chain []*graph.Op, prof *profiler.Profile) float64 {
-	var s float64
-	for _, op := range chain {
-		s += prof.T[prof.Sched.Index[op]]
-	}
-	return s
-}
-
-// backwardUses counts t's consumers at or after restoreAt — under the
-// memory-centric recomputation strategy (paper Sec. V-D) each pays the
-// chain cost again.
-func backwardUses(t *graph.Tensor, sched *graph.Schedule, restoreAt int) int {
-	n := 0
-	for _, c := range t.Consumers {
-		if sched.Index[c] >= restoreAt {
-			n++
-		}
-	}
-	if n == 0 {
-		n = 1
-	}
-	return n
-}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/tensor"
+)
+
+// This file holds the planner's incremental machinery: a memory curve
+// kept live across greedy iterations (only the tensors and ops touched
+// by the committed decision are re-applied, instead of re-walking every
+// tensor as MemSim.Curve does), dirty tracking for recompute-chain
+// re-derivation, and a reusable chain walker that the scoring worker
+// pool can run without per-call allocations. The serial reference path
+// (Options.Serial) bypasses all of it and the two paths must produce
+// byte-identical plans — see TestPlannerSerialParallelEquivalence and
+// TestIncrementalCurveMatchesFullRebuild.
+
+// memCurve maintains MemSim.Curve's diff array incrementally. The
+// delta array carries every tensor's residency spans and recompute
+// chain-transient charges; adj carries the per-schedule-index op
+// footprint adjustment (workspace, or the split footprint delta).
+// applied remembers, per tensor ID, the contributions currently folded
+// into delta so a plan change can subtract exactly what was added.
+type memCurve struct {
+	ms   *MemSim
+	plan *Plan
+	n    int
+	// delta[i] accumulates alloc(+)/free(-) transitions at op i.
+	delta []int64
+	adj   []int64
+	memAt []int64
+	// applied[id] is the span set currently charged for tensor id.
+	applied [][]span
+}
+
+// newMemCurve builds the curve for the plan's current state (normally
+// the empty plan at the top of Planner.Plan) in one full pass — the
+// only full pass the incremental path ever performs.
+func newMemCurve(ms *MemSim, p *Plan, maxTensorID int) *memCurve {
+	n := len(ms.Sched.Ops)
+	c := &memCurve{
+		ms: ms, plan: p, n: n,
+		delta:   make([]int64, n+1),
+		adj:     make([]int64, n),
+		memAt:   make([]int64, n),
+		applied: make([][]span, maxTensorID+1),
+	}
+	for i, op := range ms.Sched.Ops {
+		c.adj[i] = ms.opFootprintAdjustment(op, p)
+	}
+	for _, t := range ms.G.Tensors {
+		c.add(t)
+	}
+	return c
+}
+
+// contributions returns tensor t's delta-array charges under the
+// current plan: its residency spans plus, for a recompute decision
+// with a transient estimate, a point charge at every backward consumer
+// — exactly the per-tensor body of MemSim.Curve.
+func (c *memCurve) contributions(t *graph.Tensor) []span {
+	spans := c.ms.residency(t, c.plan)
+	if tp, ok := c.plan.Tensors[t.ID]; ok && tp.Opt == Recompute && tp.ChainBytes > 0 {
+		for _, cons := range t.Consumers {
+			if u := c.ms.Sched.Index[cons]; u >= tp.RestoreAt {
+				spans = append(spans, span{u, u, tp.ChainBytes})
+			}
+		}
+	}
+	return spans
+}
+
+// add folds t's current contributions into the delta array.
+func (c *memCurve) add(t *graph.Tensor) {
+	spans := c.contributions(t)
+	for _, iv := range spans {
+		c.delta[iv.a] += iv.bytes
+		c.delta[iv.b+1] -= iv.bytes
+	}
+	c.applied[t.ID] = spans
+}
+
+// update re-derives t's contributions after its plan entry changed,
+// subtracting the previously applied spans first.
+func (c *memCurve) update(t *graph.Tensor) {
+	for _, iv := range c.applied[t.ID] {
+		c.delta[iv.a] -= iv.bytes
+		c.delta[iv.b+1] += iv.bytes
+	}
+	c.add(t)
+}
+
+// setAdj replaces the footprint adjustment of schedule index i (after
+// a split decision changed the op's execution footprint).
+func (c *memCurve) setAdj(i int, v int64) { c.adj[i] = v }
+
+// scan rebuilds memAt from the live delta array — the prefix-sum half
+// of MemSim.Curve, O(schedule length) with no per-tensor work and no
+// allocation. The returned slice is owned by the curve and valid until
+// the next scan.
+func (c *memCurve) scan() (memAt []int64, peak int64, peakIdx int) {
+	var run int64
+	for i := 0; i < c.n; i++ {
+		run += c.delta[i]
+		m := run + c.adj[i]
+		c.memAt[i] = m
+		if m > peak {
+			peak = m
+			peakIdx = i
+		}
+	}
+	return c.memAt, peak, peakIdx
+}
+
+// chainTracker decides which recompute chains must be re-derived after
+// a plan change. A chain derivation depends only on the availability
+// answers of the tensors it queried; if none of those tensors' plan
+// entries changed, re-deriving it would reproduce the same chain. The
+// tracker records the queried set per chain owner and marks an owner
+// dirty when any dependency (or the owner itself) changes, so
+// refreshChainsDirty touches exactly the chains the serial
+// refreshChains could have updated.
+type chainTracker struct {
+	// deps[owner] is the set of tensor IDs whose availability the
+	// owner's last chain derivation queried.
+	deps  map[int]map[int]struct{}
+	dirty map[int]struct{}
+}
+
+func newChainTracker() *chainTracker {
+	return &chainTracker{
+		deps:  make(map[int]map[int]struct{}),
+		dirty: make(map[int]struct{}),
+	}
+}
+
+// markDirty forces re-derivation of owner's chain (used when the owner
+// itself gains or changes a recompute decision).
+func (ct *chainTracker) markDirty(owner int) { ct.dirty[owner] = struct{}{} }
+
+// noteChanged marks every chain that queried tensor id as dirty.
+func (ct *chainTracker) noteChanged(id int) {
+	for owner, ds := range ct.deps {
+		if _, ok := ds[id]; ok {
+			ct.dirty[owner] = struct{}{}
+		}
+	}
+}
+
+// drop forgets an owner that no longer holds a recompute decision.
+func (ct *chainTracker) drop(owner int) {
+	delete(ct.deps, owner)
+	delete(ct.dirty, owner)
+}
+
+// availQuery is the allocation-free equivalent of availFn: the
+// availability predicate for recompute chains under plan p at backward
+// index r, answering from the planner's ID-indexed liveness arrays.
+type availQuery struct {
+	pl *Planner
+	r  int
+}
+
+func (q availQuery) ok(t *graph.Tensor) bool {
+	p := q.pl.plan
+	switch t.Kind {
+	case tensor.Parameter, tensor.OptState:
+		return !p.ShardParams
+	case tensor.Input:
+		if tp, ok := p.Tensors[t.ID]; ok && tp.Opt != Reside {
+			return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r
+		}
+		return true
+	case tensor.FeatureMap:
+		tp, ok := p.Tensors[t.ID]
+		if !ok || tp.Opt == Reside {
+			return q.pl.genOf[t.ID] <= q.r && q.r <= q.pl.lastOf[t.ID]
+		}
+		// A micro-restored tensor only ever returns in fragments
+		// streamed into its split consumer; chains may not pull it
+		// back whole.
+		return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r && q.r <= q.pl.lastOf[t.ID]
+	default:
+		return false
+	}
+}
+
+// chainWalker is a reusable-scratch implementation of RecomputeChain.
+// The visited set is an epoch-stamped array indexed by op ID and the
+// chain slice is recycled, so a walk allocates nothing; scoring runs
+// hundreds of thousands of walks per plan. Each scoring worker owns
+// one walker.
+type chainWalker struct {
+	seen  []int
+	epoch int
+	chain []*graph.Op
+	count int
+}
+
+func newChainWalker(maxOpID int) *chainWalker {
+	return &chainWalker{seen: make([]int, maxOpID+1)}
+}
+
+// walk mirrors RecomputeChain exactly: producers are walked
+// depth-first in input order until every leaf satisfies q, the chain
+// is returned in execution order, and exceeding maxLen distinct ops is
+// an error. When touched is non-nil, every tensor whose availability
+// was queried is recorded in it (the chainTracker dependency set). The
+// returned slice is valid until the next walk.
+func (w *chainWalker) walk(t *graph.Tensor, q availQuery, maxLen int, touched map[int]struct{}) ([]*graph.Op, error) {
+	w.epoch++
+	w.chain = w.chain[:0]
+	w.count = 0
+	if err := w.visit(t, t, q, maxLen, touched); err != nil {
+		return nil, err
+	}
+	return w.chain, nil
+}
+
+func (w *chainWalker) visit(x, target *graph.Tensor, q availQuery, maxLen int, touched map[int]struct{}) error {
+	p := x.Producer
+	if p == nil {
+		return fmt.Errorf("core: recompute source %s has no producer and is not available", x.Name)
+	}
+	if w.seen[p.ID] == w.epoch {
+		return nil
+	}
+	w.seen[p.ID] = w.epoch
+	w.count++
+	if w.count > maxLen {
+		return fmt.Errorf("core: recompute chain for %s exceeds %d ops", target.Name, maxLen)
+	}
+	for _, in := range p.Inputs {
+		if touched != nil {
+			touched[in.ID] = struct{}{}
+		}
+		if q.ok(in) {
+			continue
+		}
+		if err := w.visit(in, target, q, maxLen, touched); err != nil {
+			return err
+		}
+	}
+	w.chain = append(w.chain, p)
+	return nil
+}
+
+// planDelta lists the tensors and ops whose plan entries a committed
+// candidate changed — the exact set the incremental structures must
+// re-apply.
+type planDelta struct {
+	tensors []*graph.Tensor
+	ops     []*graph.Op
+}
+
+// noteChanges propagates a committed decision into the incremental
+// state: changed tensors are re-applied to the curve and dirty-checked
+// against every recorded chain dependency set, changed ops get their
+// footprint adjustment recomputed, and tensors that now hold a
+// recompute decision are marked for (re-)derivation so their
+// dependency sets register.
+func (pl *Planner) noteChanges(d planDelta) {
+	for _, t := range d.tensors {
+		pl.curve.update(t)
+		pl.ct.noteChanged(t.ID)
+		if tp, ok := pl.plan.Tensors[t.ID]; ok && tp.Opt == Recompute {
+			pl.ct.markDirty(t.ID)
+		}
+	}
+	for _, op := range d.ops {
+		pl.curve.setAdj(pl.opIdx[op.ID], pl.ms.opFootprintAdjustment(op, pl.plan))
+	}
+}
+
+// refreshChainsDirty is the incremental counterpart of refreshChains:
+// it re-derives only the chains whose queried dependency set
+// intersects the tensors changed since the last iteration. Chains
+// whose dependencies are untouched would re-derive identically, so
+// skipping them cannot diverge from the serial full refresh.
+func (pl *Planner) refreshChainsDirty() {
+	if len(pl.ct.dirty) == 0 {
+		return
+	}
+	if cap(pl.dirtyScratch) < len(pl.ct.dirty) {
+		pl.dirtyScratch = make([]int, 0, len(pl.ct.dirty))
+	}
+	owners := pl.dirtyScratch[:0]
+	for id := range pl.ct.dirty {
+		owners = append(owners, id)
+	}
+	for _, id := range owners {
+		delete(pl.ct.dirty, id)
+		tp, ok := pl.plan.Tensors[id]
+		if !ok || tp.Opt != Recompute {
+			pl.ct.drop(id)
+			continue
+		}
+		touched := make(map[int]struct{}, 16)
+		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), touched)
+		pl.ct.deps[id] = touched
+		if err != nil {
+			continue // as refreshChains: keep the last estimate
+		}
+		if nb := chainTransientBytes(chain, tp.Tensor); nb != tp.ChainBytes {
+			tp.ChainBytes = nb
+			pl.plan.Tensors[id] = tp
+			pl.curve.update(tp.Tensor)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/models"
+	"tsplit/internal/tensor"
+)
+
+// TestIncrementalCurveMatchesFullRebuild drives a memCurve through a
+// long random sequence of eviction, split, and chain-estimate
+// decisions and checks after every step that its live delta array
+// scans to exactly the curve MemSim.Curve rebuilds from scratch. All
+// curve arithmetic is int64, so equality is exact, not approximate.
+func TestIncrementalCurveMatchesFullRebuild(t *testing.T) {
+	for _, model := range []string{"vgg16", "bert-large"} {
+		tb := newTestbed(t, model, models.Config{BatchSize: 8})
+		ms := NewMemSim(tb.g, tb.sched, tb.lv)
+		plan := NewPlan("prop", tb.dev)
+		maxID := 0
+		for _, x := range tb.g.Tensors {
+			if x.ID > maxID {
+				maxID = x.ID
+			}
+		}
+		curve := newMemCurve(ms, plan, maxID)
+		rng := rand.New(rand.NewSource(42))
+
+		check := func(step int) {
+			t.Helper()
+			wantMem, wantPeak, _ := ms.Curve(plan)
+			gotMem, gotPeak, _ := curve.scan()
+			if gotPeak != wantPeak {
+				t.Fatalf("%s step %d: peak %d != full rebuild %d", model, step, gotPeak, wantPeak)
+			}
+			for i := range wantMem {
+				if gotMem[i] != wantMem[i] {
+					t.Fatalf("%s step %d: mem[%d] %d != full rebuild %d", model, step, i, gotMem[i], wantMem[i])
+				}
+			}
+		}
+		check(-1)
+
+		randomUse := func(x *graph.Tensor) (int, bool) {
+			us := uses(x, tb.sched)
+			if len(us) == 0 {
+				return 0, false
+			}
+			return us[rng.Intn(len(us))], true
+		}
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(5) {
+			case 0, 1: // evict a random unplanned tensor
+				x := tb.g.Tensors[rng.Intn(len(tb.g.Tensors))]
+				if _, planned := plan.Tensors[x.ID]; planned || !x.Kind.Evictable() {
+					continue
+				}
+				r, ok := randomUse(x)
+				if !ok {
+					continue
+				}
+				opt := Swap
+				if rng.Intn(2) == 0 {
+					opt = Recompute
+				}
+				tp := TensorPlan{Tensor: x, Opt: opt, EvictAt: tb.lv.FirstUse[x], RestoreAt: r, PrefetchAt: r}
+				if opt == Swap && rng.Intn(2) == 0 && r > 0 {
+					tp.PrefetchAt = rng.Intn(r)
+				}
+				if tp.EvictAt < 0 {
+					tp.EvictAt = 0
+				}
+				plan.Tensors[x.ID] = tp
+				curve.update(x)
+			case 2: // perturb a chain estimate or micro-restore factor
+				for id, tp := range plan.Tensors {
+					if tp.Opt == Recompute {
+						tp.ChainBytes = int64(rng.Intn(1 << 20))
+					} else {
+						tp.MicroRestore = []int{0, 2, 4}[rng.Intn(3)]
+					}
+					plan.Tensors[id] = tp
+					curve.update(tp.Tensor)
+					break
+				}
+			case 3: // split a random op
+				op := tb.sched.Ops[rng.Intn(len(tb.sched.Ops))]
+				dim := tensor.DimSample
+				if rng.Intn(4) == 0 {
+					dim = tensor.DimParam
+				}
+				if in, out := SplitTensors(op, dim); in == nil || out == nil {
+					continue
+				}
+				plan.Splits[op.ID] = OpSplit{Op: op, PNum: []int{2, 4, 8}[rng.Intn(3)], Dim: dim, InOpt: []MemOpt{Reside, Swap, Recompute}[rng.Intn(3)]}
+				curve.setAdj(tb.sched.Index[op], ms.opFootprintAdjustment(op, plan))
+			case 4: // revert a random decision
+				for id, tp := range plan.Tensors {
+					delete(plan.Tensors, id)
+					curve.update(tp.Tensor)
+					break
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+// TestOptionsWithDefaultsIdempotent guards the double-application
+// hazard: withDefaults used to subtract the FragmentationReserve from
+// the capacity on every call, so any path that defaulted an
+// already-defaulted Options value silently shrank the budget.
+func TestOptionsWithDefaultsIdempotent(t *testing.T) {
+	tb := newTestbed(t, "vgg16", models.Config{BatchSize: 8})
+	once := Options{}.withDefaults(tb.dev)
+	twice := once.withDefaults(tb.dev)
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("withDefaults is not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+	}
+	if twice.Capacity != once.Capacity {
+		t.Fatalf("capacity shrank on second defaulting: %d -> %d", once.Capacity, twice.Capacity)
+	}
+	// NewPlanner defaults internally; passing it a pre-defaulted
+	// Options (as the experiment drivers do when they share one
+	// Options value across retries) must not change the budget.
+	pl := NewPlanner(tb.g, tb.sched, tb.lv, tb.prof, tb.dev, once)
+	if pl.Opts.Capacity != once.Capacity {
+		t.Fatalf("NewPlanner re-applied the fragmentation reserve: %d -> %d", once.Capacity, pl.Opts.Capacity)
+	}
+}
+
+// TestDirtyChainRefreshMatchesFull plans a real workload on the
+// incremental path, then re-derives every recompute chain with the
+// serial full refresh and checks no estimate changes — i.e. the dirty
+// tracker never skipped a chain whose dependencies had changed.
+func TestDirtyChainRefreshMatchesFull(t *testing.T) {
+	tb := newTestbed(t, "bert-large", models.Config{BatchSize: 8})
+	capacity := tb.lv.Peak * 55 / 100
+	pl := NewPlanner(tb.g, tb.sched, tb.lv, tb.prof, tb.dev, Options{Capacity: capacity, FragmentationReserve: -1})
+	plan, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int]int64)
+	for id, tp := range plan.Tensors {
+		if tp.Opt == Recompute {
+			before[id] = tp.ChainBytes
+		}
+	}
+	if len(before) == 0 {
+		t.Skip("plan contains no recompute decisions")
+	}
+	pl.refreshChains()
+	for id, want := range before {
+		if got := plan.Tensors[id].ChainBytes; got != want {
+			t.Errorf("tensor %d: stale chain estimate %d, full refresh gives %d", id, want, got)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "sync"
+
+// Candidate scoring fans out across a GOMAXPROCS-sized worker pool.
+// Each bottleneck iteration has an indexable task space — one task per
+// graph tensor (Step 1: swap/recompute scoring) followed by one per
+// schedule position in the split lookahead window (Step 2) — and every
+// task writes its result by value into its own slot of a shared
+// buffer, so workers never contend. Determinism is load-bearing:
+// better()'s relative tie window is not associative, so per-worker
+// partial reductions would pick different winners than a serial scan.
+// Instead the main goroutine folds the buffer strictly left-to-right
+// in task order, which is exactly the serial planner's scan order
+// (G.Tensors order, then split positions ascending). The parallel and
+// serial paths therefore commit identical decision sequences and
+// produce byte-identical plans (TestPlannerSerialParallelEquivalence).
+
+// minParallelTasks keeps tiny scoring rounds on one goroutine; the
+// fan-out overhead would dominate below this.
+const minParallelTasks = 256
+
+// runScoring scores every candidate for bottleneck i on up to
+// `workers` goroutines and returns the fold winner, or nil when no
+// task produced a viable candidate.
+func (pl *Planner) runScoring(i, workers int) *candidate {
+	nT := len(pl.G.Tensors)
+	nS := 0
+	if !pl.Opts.DisableSplit {
+		last := i + pl.Opts.SplitLookahead
+		if last > len(pl.Sched.Ops)-1 {
+			last = len(pl.Sched.Ops) - 1
+		}
+		if last >= i {
+			nS = last - i + 1
+		}
+	}
+	total := nT + nS
+	if cap(pl.cands) < total {
+		pl.cands = make([]candidate, total)
+	}
+	cands := pl.cands[:total]
+
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 || total < minParallelTasks {
+		for k := 0; k < total; k++ {
+			pl.scoreTask(k, i, nT, &cands[k], pl.walkers[0])
+		}
+	} else {
+		// Freeze the lazily-rebuilt occupancy prefix sums so Stall and
+		// FreeTime are read-only for the workers.
+		pl.occ.Materialize()
+		var wg sync.WaitGroup
+		chunk := (total + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int, wk *chainWalker) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					pl.scoreTask(k, i, nT, &cands[k], wk)
+				}
+			}(lo, hi, pl.walkers[w])
+		}
+		wg.Wait()
+	}
+
+	var best *candidate
+	for k := range cands {
+		if c := &cands[k]; c.valid && pl.better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// scoreTask dispatches task k: tensors first, then the split window.
+func (pl *Planner) scoreTask(k, i, nT int, c *candidate, wk *chainWalker) {
+	if k < nT {
+		pl.scoreEvictInto(pl.G.Tensors[k], i, c, wk)
+		return
+	}
+	pl.scoreSplitInto(i+(k-nT), c, wk)
+}

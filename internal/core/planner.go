@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 
 	"tsplit/internal/device"
 	"tsplit/internal/graph"
@@ -39,6 +41,13 @@ type Options struct {
 	// CPU-side optimizer state and updates (the configuration used for
 	// the PyTorch offload comparison, paper Sec. VI-D).
 	OffloadOptimizer bool
+	// Serial forces the reference planning path: single-threaded
+	// candidate scoring and a full memory-curve rebuild on every
+	// iteration. The default path (incremental curve + parallel
+	// scorer) produces byte-identical plans; benchmarks keep the
+	// serial path around as the speedup baseline and tests as the
+	// equivalence oracle.
+	Serial bool
 
 	// --- ablation knobs (DESIGN.md §4) ---
 
@@ -55,9 +64,18 @@ type Options struct {
 	// DisableGenTieBreak turns off the earlier-generated-tensor
 	// preference on near-tied ratios (ablation 4).
 	DisableGenTieBreak bool
+
+	// defaulted marks an Options value that already went through
+	// withDefaults: applying defaults twice must not subtract the
+	// FragmentationReserve from Capacity again.
+	defaulted bool
 }
 
 func (o Options) withDefaults(dev device.Device) Options {
+	if o.defaulted {
+		return o
+	}
+	o.defaulted = true
 	if o.Capacity == 0 {
 		o.Capacity = dev.MemBytes
 	}
@@ -110,26 +128,108 @@ type Planner struct {
 	// swapStall remembers the unhidden swap-out time per tensor ID so
 	// the early-out refinement knows where splitting a producer helps.
 	swapStall map[int]float64
+
+	// --- incremental planning state (see incremental.go) ---
+
+	curve *memCurve
+	ct    *chainTracker
+	// ID-indexed mirrors of the liveness/schedule maps: the scoring
+	// loops run millions of lookups per plan and array indexing is
+	// several times cheaper than map access.
+	genOf  []int   // Lv.FirstUse by tensor ID
+	lastOf []int   // Lv.LastUse by tensor ID
+	usesOf [][]int // sorted consumer schedule indices by tensor ID
+	opIdx  []int   // schedule position by op ID
+	// cands is the per-iteration scoring buffer: one slot per task so
+	// workers write without coordination and the reduction folds in
+	// task-index order.
+	cands        []candidate
+	walkers      []*chainWalker
+	workers      int
+	maxTensorID  int
+	dirtyScratch []int
 }
 
 // NewPlanner assembles a planner for one (graph, schedule, device).
 func NewPlanner(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, prof *profiler.Profile, dev device.Device, opts Options) *Planner {
-	return &Planner{
+	pl := &Planner{
 		G: g, Sched: sched, Lv: lv, Prof: prof, Dev: dev,
 		Opts: opts.withDefaults(dev),
 		ms:   NewMemSim(g, sched, lv),
 	}
+	pl.initAccel()
+	return pl
 }
 
-// candidate is one scored planning action.
+// initAccel precomputes the ID-indexed lookup arrays and the per-worker
+// chain walkers.
+func (pl *Planner) initAccel() {
+	maxT, maxO := 0, 0
+	for _, t := range pl.G.Tensors {
+		if t.ID > maxT {
+			maxT = t.ID
+		}
+	}
+	for _, op := range pl.G.Ops {
+		if op.ID > maxO {
+			maxO = op.ID
+		}
+	}
+	pl.maxTensorID = maxT
+	pl.genOf = make([]int, maxT+1)
+	pl.lastOf = make([]int, maxT+1)
+	pl.usesOf = make([][]int, maxT+1)
+	for _, t := range pl.G.Tensors {
+		pl.genOf[t.ID] = pl.Lv.FirstUse[t]
+		pl.lastOf[t.ID] = pl.Lv.LastUse[t]
+		pl.usesOf[t.ID] = uses(t, pl.Sched)
+	}
+	pl.opIdx = make([]int, maxO+1)
+	for i, op := range pl.Sched.Ops {
+		pl.opIdx[op.ID] = i
+	}
+	pl.workers = runtime.GOMAXPROCS(0)
+	if pl.workers < 1 {
+		pl.workers = 1
+	}
+	pl.walkers = make([]*chainWalker, pl.workers)
+	for i := range pl.walkers {
+		pl.walkers[i] = newChainWalker(maxO)
+	}
+}
+
+// candidate is one scored planning action, held by value in the
+// scoring buffer so workers never share mutable state. The decision
+// payload replaces the old apply-closure: committing is a planner
+// method (applyCandidate) that also reports which tensors and ops it
+// changed, which the incremental curve and chain tracker need.
 type candidate struct {
-	// ratio is ΔT/ΔM, the greedy key (seconds per byte).
-	ratio   float64
-	deltaT  float64
-	deltaM  int64
-	genIdx  int // production index, for the earlier-tensor tie-break
-	apply   func()
+	valid   bool
 	isSplit bool
+	// ratio is ΔT/ΔM, the greedy key (seconds per byte).
+	ratio  float64
+	deltaT float64
+	deltaM int64
+	genIdx int // production index, for the earlier-tensor tie-break
+
+	// pos anchors the decision in the schedule: the bottleneck index
+	// for an eviction, the split op's position for a split.
+	pos       int
+	evictAt   int
+	restoreAt int
+
+	// eviction payload
+	t          *graph.Tensor
+	opt        MemOpt
+	transfer   float64
+	stallOut   float64
+	chainBytes int64
+
+	// split payload
+	split    OpSplit
+	splitNew bool // the op had no previous split decision
+	in       *graph.Tensor
+	inOpt    MemOpt
 }
 
 // ErrInfeasible is returned when no remaining action can break a
@@ -152,13 +252,25 @@ func (pl *Planner) Plan() (*Plan, error) {
 	pl.occ = profiler.NewOccupancy(pl.Prof)
 	pl.swapStall = make(map[int]float64)
 	cap := pl.Opts.Capacity
+	incremental := !pl.Opts.Serial
+	if incremental {
+		pl.curve = newMemCurve(pl.ms, pl.plan, pl.maxTensorID)
+		pl.ct = newChainTracker()
+	}
 
 	for iter := 0; ; iter++ {
 		if iter >= pl.Opts.MaxIterations {
 			return pl.plan, fmt.Errorf("core: planning did not converge in %d iterations", iter)
 		}
-		pl.refreshChains()
-		memAt, peak, _ := pl.ms.Curve(pl.plan)
+		var memAt []int64
+		var peak int64
+		if incremental {
+			pl.refreshChainsDirty()
+			memAt, peak, _ = pl.curve.scan()
+		} else {
+			pl.refreshChains()
+			memAt, peak, _ = pl.ms.Curve(pl.plan)
+		}
 		if peak <= cap {
 			break
 		}
@@ -174,7 +286,10 @@ func (pl *Planner) Plan() (*Plan, error) {
 			return pl.plan, fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
 				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAt[i]-cap)/(1<<20))
 		}
-		best.apply()
+		delta := pl.applyCandidate(best)
+		if incremental {
+			pl.noteChanges(delta)
+		}
 		pl.extraTime += best.deltaT
 	}
 
@@ -190,13 +305,14 @@ func (pl *Planner) Plan() (*Plan, error) {
 // refreshChains recomputes the transient-memory estimate of every
 // recompute decision against the *current* plan: a chain recorded
 // earlier may have grown because a tensor it sourced from was itself
-// evicted by a later decision.
+// evicted by a later decision. This is the serial reference;
+// refreshChainsDirty (incremental.go) re-derives only affected chains.
 func (pl *Planner) refreshChains() {
 	for id, tp := range pl.plan.Tensors {
 		if tp.Opt != Recompute {
 			continue
 		}
-		chain, err := RecomputeChain(tp.Tensor, availFn(pl.plan, pl.Lv, tp.RestoreAt), len(pl.G.Ops))
+		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), nil)
 		if err != nil {
 			continue
 		}
@@ -210,6 +326,10 @@ func (pl *Planner) refreshChains() {
 // observation: swapping an earlier-generated tensor starts its
 // transfer sooner and holds the reduction longer). The ablation knobs
 // switch to largest-ΔM-first or disable the tie-break.
+//
+// The relative tie window makes better non-associative, so any
+// reduction over candidates must fold in the serial scan order (see
+// runScoring).
 func (pl *Planner) better(a, b *candidate) bool {
 	if b == nil {
 		return true
@@ -237,41 +357,31 @@ func (pl *Planner) better(a, b *candidate) bool {
 }
 
 // bestCandidate scores Step 1 (swap/recompute of live tensors) and
-// Step 2 (split of the bottleneck op) and returns the winner of Step 3.
+// Step 2 (split of ops in the bottleneck's lookahead window) and
+// returns the winner of Step 3. The serial path runs the same scoring
+// tasks on one goroutine; both paths fold in identical order.
 func (pl *Planner) bestCandidate(i int) *candidate {
-	var best *candidate
-	for _, t := range pl.G.Tensors {
-		if c := pl.scoreEvict(t, i); c != nil && pl.better(c, best) {
-			best = c
-		}
+	workers := 1
+	if !pl.Opts.Serial {
+		workers = pl.workers
 	}
-	if !pl.Opts.DisableSplit {
-		// The memory rise at i is often caused by prefetches for a
-		// consumer a few positions later (its restored saved
-		// activations), so splitting any op in a short lookahead window
-		// can break the bottleneck at i.
-		for j := i; j < len(pl.Sched.Ops) && j <= i+pl.Opts.SplitLookahead; j++ {
-			if c := pl.scoreSplit(j); c != nil && pl.better(c, best) {
-				best = c
-			}
-		}
-	}
-	return best
+	return pl.runScoring(i, workers)
 }
 
-// scoreEvict scores swap vs recompute for one live tensor at
-// bottleneck i (paper Eqs. 2-5) and returns the cheaper, or nil when t
-// is not a candidate.
-func (pl *Planner) scoreEvict(t *graph.Tensor, i int) *candidate {
+// scoreEvictInto scores swap vs recompute for one live tensor at
+// bottleneck i (paper Eqs. 2-5) into c, leaving c invalid when t is
+// not a candidate.
+func (pl *Planner) scoreEvictInto(t *graph.Tensor, i int, c *candidate, wk *chainWalker) {
+	c.valid = false
 	if !t.Kind.Evictable() {
-		return nil
+		return
 	}
 	if _, planned := pl.plan.Tensors[t.ID]; planned {
-		return nil
+		return
 	}
-	evictAt, restoreAt, ok := evictionWindow(t, pl.Sched, pl.Lv, i)
+	evictAt, restoreAt, ok := pl.evictionWindowFast(t, i)
 	if !ok {
-		return nil
+		return
 	}
 	size := t.Bytes()
 	transfer := pl.Prof.TransferTime(size)
@@ -288,8 +398,8 @@ func (pl *Planner) scoreEvict(t *graph.Tensor, i int) *candidate {
 	recompT := math.Inf(1)
 	var chainBytes int64
 	if t.Kind == tensor.FeatureMap && !pl.Opts.DisableRecompute {
-		if chain, err := RecomputeChain(t, availFn(pl.plan, pl.Lv, restoreAt), pl.Opts.MaxRecomputeChain); err == nil {
-			recompT = chainCost(chain, pl.Prof) * float64(backwardUses(t, pl.Sched, restoreAt))
+		if chain, err := wk.walk(t, availQuery{pl, restoreAt}, pl.Opts.MaxRecomputeChain, nil); err == nil {
+			recompT = pl.chainCostFast(chain) * float64(pl.backwardUsesFast(t, restoreAt))
 			chainBytes = chainTransientBytes(chain, t)
 		}
 	}
@@ -305,47 +415,96 @@ func (pl *Planner) scoreEvict(t *graph.Tensor, i int) *candidate {
 	if opt == Recompute && swapT <= 4*recompT+1e-6 && pl.microRestorable(t, restoreAt) {
 		opt, dT = Swap, swapT
 	}
-	gen := pl.Lv.FirstUse[t]
+	gen := pl.genOf[t.ID]
 	if gen < 0 {
 		gen = 0
 	}
-	c := &candidate{
-		ratio:  dT / float64(size),
-		deltaT: dT,
-		deltaM: size,
-		genIdx: gen,
+	*c = candidate{
+		valid:      true,
+		ratio:      dT / float64(size),
+		deltaT:     dT,
+		deltaM:     size,
+		genIdx:     gen,
+		pos:        i,
+		evictAt:    evictAt,
+		restoreAt:  restoreAt,
+		t:          t,
+		opt:        opt,
+		transfer:   transfer,
+		stallOut:   stallOut,
+		chainBytes: chainBytes,
 	}
-	c.apply = func() {
-		tp := TensorPlan{Tensor: t, Opt: opt, EvictAt: evictAt, RestoreAt: restoreAt, PrefetchAt: restoreAt}
-		if opt == Recompute {
-			tp.ChainBytes = chainBytes
+}
+
+// applyCandidate commits the winning decision to the plan and returns
+// the tensors/ops whose plan entries changed.
+func (pl *Planner) applyCandidate(c *candidate) planDelta {
+	if c.isSplit {
+		return pl.applySplit(c)
+	}
+	return pl.applyEvict(c)
+}
+
+func (pl *Planner) applyEvict(c *candidate) planDelta {
+	t := c.t
+	tp := TensorPlan{Tensor: t, Opt: c.opt, EvictAt: c.evictAt, RestoreAt: c.restoreAt, PrefetchAt: c.restoreAt}
+	if c.opt == Recompute {
+		tp.ChainBytes = c.chainBytes
+	}
+	if c.opt == Swap {
+		pl.occ.Reserve(c.transfer, c.evictAt+1, c.pos-1)
+		start, leftover := pl.occ.ReserveBack(c.transfer, c.pos, c.restoreAt-1)
+		if leftover > 0 {
+			// The link is saturated: the copy runs just before its
+			// deadline (stalling compute for the unhidden part)
+			// rather than spreading across the iteration, so the
+			// tensor re-occupies memory only near its use.
+			start = pl.Prof.WindowStart(c.restoreAt, c.transfer)
+			if start < c.pos {
+				start = c.pos
+			}
 		}
-		if opt == Swap {
-			pl.occ.Reserve(transfer, evictAt+1, i-1)
-			start, leftover := pl.occ.ReserveBack(transfer, i, restoreAt-1)
+		tp.PrefetchAt = start
+		pl.swapStall[t.ID] = c.stallOut
+	}
+	pl.plan.Tensors[t.ID] = tp
+	return planDelta{tensors: []*graph.Tensor{t}}
+}
+
+func (pl *Planner) applySplit(c *candidate) planDelta {
+	op := c.split.Op
+	pl.plan.Splits[op.ID] = c.split
+	d := planDelta{ops: []*graph.Op{op}}
+	for _, t := range c.split.MicroIns {
+		tp := pl.plan.Tensors[t.ID]
+		tp.MicroRestore = c.split.PNum
+		pl.plan.Tensors[t.ID] = tp
+		d.tensors = append(d.tensors, t)
+	}
+	if c.splitNew && c.inOpt != Reside && c.restoreAt >= 0 {
+		tp := TensorPlan{Tensor: c.in, Opt: c.inOpt, EvictAt: c.evictAt, RestoreAt: c.restoreAt, PrefetchAt: c.restoreAt}
+		if c.inOpt == Swap {
+			transfer := pl.Prof.TransferTime(c.in.Bytes())
+			start, leftover := pl.occ.ReserveBack(transfer, c.pos, c.restoreAt-1)
 			if leftover > 0 {
-				// The link is saturated: the copy runs just before its
-				// deadline (stalling compute for the unhidden part)
-				// rather than spreading across the iteration, so the
-				// tensor re-occupies memory only near its use.
-				start = pl.Prof.WindowStart(restoreAt, transfer)
-				if start < i {
-					start = i
+				start = pl.Prof.WindowStart(c.restoreAt, transfer)
+				if start < c.pos {
+					start = c.pos
 				}
 			}
 			tp.PrefetchAt = start
-			pl.swapStall[t.ID] = stallOut
 		}
-		pl.plan.Tensors[t.ID] = tp
+		pl.plan.Tensors[c.in.ID] = tp
+		d.tensors = append(d.tensors, c.in)
 	}
-	return c
+	return d
 }
 
 // microRestorable reports whether t's restoring consumer could stream
 // it back in micro-tensors: the consumer is sample-splittable, shares
 // the batch axis, and is t's final use.
 func (pl *Planner) microRestorable(t *graph.Tensor, restoreAt int) bool {
-	if pl.Opts.DisableSplit || pl.Lv.LastUse[t] != restoreAt {
+	if pl.Opts.DisableSplit || pl.lastOf[t.ID] != restoreAt {
 		return false
 	}
 	op := pl.Sched.Ops[restoreAt]
@@ -353,16 +512,28 @@ func (pl *Planner) microRestorable(t *graph.Tensor, restoreAt int) bool {
 	return out != nil && t.Shape.Rank() >= 1 && out.Shape.Rank() >= 1 && t.Shape[0] == out.Shape[0]
 }
 
-// scoreSplit scores splitting the bottleneck operator jointly with a
-// memory option for its input micro-tensors (paper Eq. 6), searching
-// p_num and the split dimension. An operator that is already split may
-// be upgraded to a larger p_num with the same dimension and input
-// option when the bottleneck persists.
-func (pl *Planner) scoreSplit(i int) *candidate {
-	op := pl.Sched.Ops[i]
+// Shared read-only option sets for splitInOpts (safe for concurrent
+// scoring workers).
+var (
+	inOptsReside      = []MemOpt{Reside}
+	inOptsRecompute   = []MemOpt{Recompute, Reside}
+	inOptsSwapRecRes  = []MemOpt{Swap, Recompute, Reside}
+	splitDimsSearched = []tensor.SplitDim{tensor.DimSample, tensor.DimParam}
+)
+
+// scoreSplitInto scores splitting the operator at schedule position j
+// jointly with a memory option for its input micro-tensors (paper
+// Eq. 6), searching p_num and the split dimension, into c. An operator
+// that is already split may be upgraded to a larger p_num with the
+// same dimension and input option when the bottleneck persists.
+func (pl *Planner) scoreSplitInto(j int, c *candidate, wk *chainWalker) {
+	c.valid = false
+	op := pl.Sched.Ops[j]
 	cur, has := pl.plan.Splits[op.ID]
 	var best *candidate
-	for _, dim := range []tensor.SplitDim{tensor.DimSample, tensor.DimParam} {
+	var tmp candidate
+	var curOpt [1]MemOpt
+	for _, dim := range splitDimsSearched {
 		if has && dim != cur.Dim {
 			continue
 		}
@@ -378,22 +549,23 @@ func (pl *Planner) scoreSplit(i int) *candidate {
 			}
 		}
 		maxP := tensor.MaxSplit(in.Shape, axis)
-		inOpts := pl.splitInOpts(in, dim, i)
+		inOpts := pl.splitInOpts(in, dim, j)
 		if has {
-			inOpts = []MemOpt{cur.InOpt}
+			curOpt[0] = cur.InOpt
+			inOpts = curOpt[:]
 		}
 		for _, pnum := range pl.Opts.PNums {
 			if pnum < 2 || pnum > maxP || (has && pnum <= cur.PNum) {
 				continue
 			}
 			for _, inOpt := range inOpts {
-				if c := pl.scoreSplitConfig(op, i, in, out, dim, pnum, inOpt); c != nil && pl.better(c, best) {
+				if pl.scoreSplitConfigInto(op, j, in, out, dim, pnum, inOpt, has, &cur, &tmp, wk) && pl.better(&tmp, best) {
+					*c = tmp
 					best = c
 				}
 			}
 		}
 	}
-	return best
 }
 
 // carvableSecondInput returns the second activation input of a binary
@@ -414,7 +586,7 @@ func (pl *Planner) carvableSecondInput(op *graph.Op, in, out *graph.Tensor, dim 
 		if _, planned := pl.plan.Tensors[t.ID]; planned {
 			continue
 		}
-		if _, restore, _ := evictionWindowAfter(t, pl.Sched, i); restore == -1 {
+		if _, restore, _ := pl.evictionWindowAfterFast(t, i); restore == -1 {
 			return t
 		}
 	}
@@ -427,42 +599,42 @@ func (pl *Planner) carvableSecondInput(op *graph.Op, in, out *graph.Tensor, dim 
 // immediately) and that it is not already planned.
 func (pl *Planner) splitInOpts(in *graph.Tensor, dim tensor.SplitDim, i int) []MemOpt {
 	if dim == tensor.DimParam {
-		return []MemOpt{Reside} // the carved operand is the resident weight
+		return inOptsReside // the carved operand is the resident weight
 	}
 	if _, planned := pl.plan.Tensors[in.ID]; planned {
-		return []MemOpt{Reside}
+		return inOptsReside
 	}
 	for _, c := range in.Consumers {
-		if u := pl.Sched.Index[c]; u > i && c.Phase == graph.Forward {
-			return []MemOpt{Reside} // still needed whole in the forward pass
+		if u := pl.opIdx[c.ID]; u > i && c.Phase == graph.Forward {
+			return inOptsReside // still needed whole in the forward pass
 		}
 	}
-	if _, restore, _ := evictionWindowAfter(in, pl.Sched, i); restore == -1 {
+	if _, restore, _ := pl.evictionWindowAfterFast(in, i); restore == -1 {
 		// The input dies at this operator (typical for upstream
 		// gradients in the backward pass): its micro-tensors can simply
 		// be freed as they are consumed, reusing the space for the
 		// output micro-tensors at no eviction cost.
-		return []MemOpt{Recompute, Reside}
+		return inOptsRecompute
 	}
 	if !in.Kind.Evictable() {
-		return []MemOpt{Reside}
+		return inOptsReside
 	}
-	return []MemOpt{Swap, Recompute, Reside}
+	return inOptsSwapRecRes
 }
 
-// scoreSplitConfig prices one (op, p_num, dim, inOpt) configuration,
-// measuring ΔM relative to the op's current (possibly already split)
-// footprint.
-func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, dim tensor.SplitDim, pnum int, inOpt MemOpt) *candidate {
+// scoreSplitConfigInto prices one (op, p_num, dim, inOpt)
+// configuration into c, measuring ΔM relative to the op's current
+// (possibly already split) footprint. It reports whether the
+// configuration is a viable candidate.
+func (pl *Planner) scoreSplitConfigInto(op *graph.Op, i int, in, out *graph.Tensor, dim tensor.SplitDim, pnum int, inOpt MemOpt, has bool, cur *OpSplit, c *candidate, wk *chainWalker) bool {
 	inB, outB := in.Bytes(), out.Bytes()
 	in2 := pl.carvableSecondInput(op, in, out, dim, i)
 
 	newSplit := OpSplit{Op: op, PNum: pnum, Dim: dim, InOpt: inOpt, In2: in2}
 	curAdj := op.Workspace
 	baseT := pl.Prof.T[i]
-	cur, has := pl.plan.Splits[op.ID]
 	if has {
-		curAdj = splitAdjustment(op, cur)
+		curAdj = splitAdjustment(op, *cur)
 		_, baseT = pl.Prof.Cost.SplitTimes(op, cur.PNum)
 	}
 
@@ -480,7 +652,7 @@ func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, 
 			if t.Shape.Rank() < 1 || t.Shape[0] != op.Outputs[0].Shape[0] {
 				continue
 			}
-			if pl.Lv.LastUse[t] != i {
+			if pl.lastOf[t.ID] != i {
 				continue // another consumer still needs it whole
 			}
 			microIns = append(microIns, t)
@@ -494,7 +666,7 @@ func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, 
 	// device (they were previously charged whole from their prefetch).
 	deltaM += microB - microB/int64(pnum)
 	if deltaM <= 0 {
-		return nil
+		return false
 	}
 
 	// Time cost (Eq. 6): kernel degradation + merge copy + micro
@@ -534,9 +706,9 @@ func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, 
 		// committed with the original split decision.
 	case inOpt == Swap:
 		transfer := pl.Prof.TransferTime(inB)
-		_, restoreAt, _ = evictionWindowAfter(in, pl.Sched, i)
+		_, restoreAt, _ = pl.evictionWindowAfterFast(in, i)
 		if restoreAt < 0 {
-			return nil
+			return false
 		}
 		// Micro swap-outs overlap the remaining micro-operators.
 		hide := totalSplit * float64(pnum-1) / float64(pnum)
@@ -545,77 +717,122 @@ func (pl *Planner) scoreSplitConfig(op *graph.Op, i int, in, out *graph.Tensor, 
 		}
 		deltaT += pl.occ.Stall(transfer, i+1, restoreAt-1)
 	case inOpt == Recompute:
-		_, restoreAt, _ = evictionWindowAfter(in, pl.Sched, i)
+		_, restoreAt, _ = pl.evictionWindowAfterFast(in, i)
 		if restoreAt >= 0 {
-			chain, err := RecomputeChain(in, availFn(pl.plan, pl.Lv, restoreAt), pl.Opts.MaxRecomputeChain)
+			chain, err := wk.walk(in, availQuery{pl, restoreAt}, pl.Opts.MaxRecomputeChain, nil)
 			if err != nil {
-				return nil
+				return false
 			}
-			deltaT += chainCost(chain, pl.Prof) * float64(backwardUses(in, pl.Sched, restoreAt))
+			deltaT += pl.chainCostFast(chain) * float64(pl.backwardUsesFast(in, restoreAt))
 		}
 		// restoreAt == -1: the input dies here; micro-tensors are
 		// simply freed as consumed, no regeneration ever needed.
 	}
 
-	gen := pl.Lv.FirstUse[in]
+	gen := pl.genOf[in.ID]
 	if gen < 0 {
 		gen = 0
 	}
-	c := &candidate{
-		ratio:   deltaT / float64(deltaM),
-		deltaT:  deltaT,
-		deltaM:  deltaM,
-		genIdx:  gen,
-		isSplit: true,
+	*c = candidate{
+		valid:     true,
+		isSplit:   true,
+		ratio:     deltaT / float64(deltaM),
+		deltaT:    deltaT,
+		deltaM:    deltaM,
+		genIdx:    gen,
+		pos:       i,
+		evictAt:   evictAt,
+		restoreAt: restoreAt,
+		split:     newSplit,
+		splitNew:  !has,
+		in:        in,
+		inOpt:     inOpt,
 	}
-	c.apply = func() {
-		pl.plan.Splits[op.ID] = newSplit
-		for _, t := range microIns {
-			tp := pl.plan.Tensors[t.ID]
-			tp.MicroRestore = pnum
-			pl.plan.Tensors[t.ID] = tp
-		}
-		if !has && inOpt != Reside && restoreAt >= 0 {
-			tp := TensorPlan{Tensor: in, Opt: inOpt, EvictAt: evictAt, RestoreAt: restoreAt, PrefetchAt: restoreAt}
-			if inOpt == Swap {
-				transfer := pl.Prof.TransferTime(inB)
-				start, leftover := pl.occ.ReserveBack(transfer, i, restoreAt-1)
-				if leftover > 0 {
-					start = pl.Prof.WindowStart(restoreAt, transfer)
-					if start < i {
-						start = i
-					}
-				}
-				tp.PrefetchAt = start
-			}
-			pl.plan.Tensors[in.ID] = tp
-		}
-	}
-	return c
+	return true
 }
 
-// evictionWindowAfter is evictionWindow specialized for the split
-// input: evicted at i (its consuming op), restored at its next use.
-func evictionWindowAfter(t *graph.Tensor, sched *graph.Schedule, i int) (evictAt, restoreAt int, ok bool) {
+// --- ID-indexed fast equivalents of the candidates.go helpers ---
+
+// evictionWindowFast is evictionWindow answering from usesOf/genOf.
+func (pl *Planner) evictionWindowFast(t *graph.Tensor, i int) (evictAt, restoreAt int, ok bool) {
+	first := pl.genOf[t.ID]
+	if first >= i { // not yet produced, or produced at the bottleneck
+		return 0, 0, false
+	}
+	evictAt = first
+	if evictAt < 0 {
+		evictAt = 0
+	}
 	restoreAt = -1
-	for _, c := range t.Consumers {
-		if u := sched.Index[c]; u > i && (restoreAt == -1 || u < restoreAt) {
+	for _, u := range pl.usesOf[t.ID] {
+		switch {
+		case u == i:
+			return 0, 0, false // input of the bottleneck op itself
+		case u < i:
+			if u > evictAt {
+				evictAt = u
+			}
+		case restoreAt == -1:
 			restoreAt = u
 		}
 	}
 	if restoreAt == -1 {
-		return 0, -1, false
+		return 0, 0, false // dead after i anyway; eviction frees nothing new
 	}
-	return i, restoreAt, true
+	return evictAt, restoreAt, true
+}
+
+// evictionWindowAfterFast is the split-input specialization: evicted
+// at i (its consuming op), restored at its next use.
+func (pl *Planner) evictionWindowAfterFast(t *graph.Tensor, i int) (evictAt, restoreAt int, ok bool) {
+	for _, u := range pl.usesOf[t.ID] {
+		if u > i {
+			return i, u, true
+		}
+	}
+	return 0, -1, false
+}
+
+// backwardUsesFast counts t's consumers at or after restoreAt — under
+// the memory-centric recomputation strategy (paper Sec. V-D) each pays
+// the chain cost again.
+func (pl *Planner) backwardUsesFast(t *graph.Tensor, restoreAt int) int {
+	n := 0
+	for _, u := range pl.usesOf[t.ID] {
+		if u >= restoreAt {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// chainCostFast sums the profiled forward time of a recompute chain.
+func (pl *Planner) chainCostFast(chain []*graph.Op) float64 {
+	var s float64
+	for _, op := range chain {
+		s += pl.Prof.T[pl.opIdx[op.ID]]
+	}
+	return s
 }
 
 // earlyOutPass applies the paper's early-swap mechanism: when a
 // swapped tensor's swap-out could not be fully hidden, splitting its
 // producer lets the transfer start at micro-tensor granularity —
 // during the producer's own execution — recovering up to
-// (p-1)/p of the producer's time as additional overlap.
+// (p-1)/p of the producer's time as additional overlap. Tensors are
+// visited in ID order so the floating-point time accumulation is
+// deterministic.
 func (pl *Planner) earlyOutPass() {
-	for id, stall := range pl.swapStall {
+	ids := make([]int, 0, len(pl.swapStall))
+	for id := range pl.swapStall {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		stall := pl.swapStall[id]
 		if stall <= 0 {
 			continue
 		}
@@ -637,7 +854,7 @@ func (pl *Planner) earlyOutPass() {
 			continue
 		}
 		_, totalSplit := pl.Prof.Cost.SplitTimes(prod, pnum)
-		pi := pl.Sched.Index[prod]
+		pi := pl.opIdx[prod.ID]
 		degrade := totalSplit - pl.Prof.T[pi]
 		if degrade < 0 {
 			degrade = 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"tsplit/internal/graph"
 	"tsplit/internal/tensor"
@@ -70,7 +71,15 @@ func Augment(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, plan *Pl
 			rw.cur[t] = rw.instance(t, t.Name)
 		}
 	}
-	for _, tp := range plan.Tensors {
+	// Tensor-ID order keeps the inserted memory operators (and so the
+	// whole augmented graph) deterministic; Plan.Tensors is a map.
+	ids := make([]int, 0, len(plan.Tensors))
+	for id := range plan.Tensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tp := plan.Tensors[id]
 		if tp.Opt == Swap && tp.RestoreAt >= 0 {
 			at := tp.PrefetchAt
 			if at < 0 || at > tp.RestoreAt {

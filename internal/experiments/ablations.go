@@ -192,13 +192,15 @@ func AllAblations() ([]AblationReport, error) {
 		AblationTieBreak,
 		AblationPoolStrategy,
 	}
-	var out []AblationReport
-	for _, f := range fns {
-		r, err := f()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	// The sweeps prepare and simulate disjoint workloads, so they run
+	// concurrently; reports keep the DESIGN.md §4 order.
+	out := make([]AblationReport, len(fns))
+	errs := make([]error, len(fns))
+	forEach(len(fns), func(i int) {
+		out[i], errs[i] = fns[i]()
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -38,26 +38,41 @@ var fig12Batches = map[string][]int{
 // fig12Models are the four workloads of Figs. 12/13/15.
 var fig12Models = []string{"vgg16", "resnet50", "inceptionv4", "transformer"}
 
-// throughputFigure sweeps batch sizes for the given policies.
+// throughputFigure sweeps batch sizes for the given policies. Each
+// (model, policy) series prepares and simulates its own workloads, so
+// the series run concurrently and are stitched back in legend order.
 func throughputFigure(title string, dev device.Device, policies []string, cfg models.Config) *ThroughputFigure {
 	f := &ThroughputFigure{Title: title, Dev: dev, Series: map[string][]ThroughputSeries{}}
+	type cell struct {
+		model  string
+		policy string
+	}
+	cells := make([]cell, 0, len(fig12Models)*len(policies))
 	for _, m := range fig12Models {
-		batches := fig12Batches[m]
 		for _, pol := range policies {
-			s := ThroughputSeries{Policy: pol, Batch: batches, Thr: make([]float64, len(batches))}
-			if applicable(m, pol) {
-				for i, b := range batches {
-					c := cfg
-					c.BatchSize = b
-					p, err := Prepare(m, c, dev)
-					if err != nil {
-						continue
-					}
-					s.Thr[i] = RunPolicy(p, pol, 0).Throughput(b)
-				}
-			}
-			f.Series[m] = append(f.Series[m], s)
+			cells = append(cells, cell{m, pol})
 		}
+	}
+	results := make([]ThroughputSeries, len(cells))
+	forEach(len(cells), func(k int) {
+		m, pol := cells[k].model, cells[k].policy
+		batches := fig12Batches[m]
+		s := ThroughputSeries{Policy: pol, Batch: batches, Thr: make([]float64, len(batches))}
+		if applicable(m, pol) {
+			for i, b := range batches {
+				c := cfg
+				c.BatchSize = b
+				p, err := Prepare(m, c, dev)
+				if err != nil {
+					continue
+				}
+				s.Thr[i] = RunPolicy(p, pol, 0).Throughput(b)
+			}
+		}
+		results[k] = s
+	})
+	for k, c := range cells {
+		f.Series[c.model] = append(f.Series[c.model], results[k])
 	}
 	return f
 }
@@ -201,24 +216,31 @@ var fig2bBatches = map[string]int{
 // (~45.6% average) across the five CNN models under memory
 // over-subscription.
 func Fig2bOverheadPCIe(dev device.Device, policy string) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, m := range []string{"vgg16", "vgg19", "resnet50", "resnet101", "inceptionv4"} {
+	mods := []string{"vgg16", "vgg19", "resnet50", "resnet101", "inceptionv4"}
+	rows := make([]OverheadRow, len(mods))
+	errs := make([]error, len(mods))
+	forEach(len(mods), func(i int) {
+		m := mods[i]
 		batch := fig2bBatches[m]
 		p, err := Prepare(m, models.Config{BatchSize: batch}, dev)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		r := RunPolicy(p, policy, 0)
 		if !r.Feasible {
-			rows = append(rows, OverheadRow{Model: m, Batch: batch})
-			continue
+			rows[i] = OverheadRow{Model: m, Batch: batch}
+			return
 		}
 		ideal := p.Prof.Total()
-		rows = append(rows, OverheadRow{
+		rows[i] = OverheadRow{
 			Model: m, Batch: batch,
 			OverheadPct: 100 * (r.Res.Time - ideal) / ideal,
 			PCIePct:     100 * r.Res.PCIeUtilization,
-		})
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -26,27 +26,42 @@ type MemoryScalePoint struct {
 func Fig1BERTMemoryScale() ([]MemoryScalePoint, map[string]int64, error) {
 	batches := []int{4, 8, 16, 32, 64}
 	scales := []float64{0.75, 1.0, 1.25, 1.5, 2.0}
-	var grid []MemoryScalePoint
+	type cell struct {
+		batch int
+		scale float64
+	}
+	var cells []cell
 	for _, b := range batches {
 		for _, k := range scales {
-			g, err := models.Build("bert-large", models.Config{BatchSize: b, ParamScale: k})
-			if err != nil {
-				return nil, nil, err
-			}
-			sched, err := graph.BuildSchedule(g)
-			if err != nil {
-				return nil, nil, err
-			}
-			lv := graph.AnalyzeLiveness(g, sched)
-			hidden := 0
-			if len(g.Params) > 0 {
-				hidden = g.Params[0].Shape[1] // embedding table [vocab, hidden]
-			}
-			grid = append(grid, MemoryScalePoint{
-				Batch: b, ParamScale: k, Hidden: hidden,
-				PeakGiB: float64(lv.Peak) / (1 << 30),
-			})
+			cells = append(cells, cell{b, k})
 		}
+	}
+	grid := make([]MemoryScalePoint, len(cells))
+	errs := make([]error, len(cells))
+	forEach(len(cells), func(i int) {
+		b, k := cells[i].batch, cells[i].scale
+		g, err := models.Build("bert-large", models.Config{BatchSize: b, ParamScale: k})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sched, err := graph.BuildSchedule(g)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		lv := graph.AnalyzeLiveness(g, sched)
+		hidden := 0
+		if len(g.Params) > 0 {
+			hidden = g.Params[0].Shape[1] // embedding table [vocab, hidden]
+		}
+		grid[i] = MemoryScalePoint{
+			Batch: b, ParamScale: k, Hidden: hidden,
+			PeakGiB: float64(lv.Peak) / (1 << 30),
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
 	}
 	caps := map[string]int64{}
 	for _, d := range device.All {
@@ -95,49 +110,66 @@ func Fig14aScaleUnderThroughput(dev device.Device, hi int) ([]ThroughputConstrai
 	if hi == 0 {
 		hi = 2048
 	}
-	var rows []ThroughputConstrainedScale
-	for _, m := range []string{"vgg16", "resnet101"} {
-		// Reference throughput: Base at its own maximum batch.
+	mods := []string{"vgg16", "resnet101"}
+	pols := []string{"superneurons", "tsplit-nosplit", "tsplit"}
+	// Per-model reference throughput first (cheap), then the expensive
+	// (model, policy) frontier searches concurrently; each produces its
+	// two pct rows, stitched back in sweep order.
+	baseThr := make([]float64, len(mods))
+	errs := make([]error, len(mods))
+	forEach(len(mods), func(mi int) {
+		m := mods[mi]
 		baseMax := MaxSampleScale(m, "base", dev, models.Config{}, hi)
 		if baseMax == 0 {
-			return nil, fmt.Errorf("experiments: base cannot train %s at all", m)
+			errs[mi] = fmt.Errorf("experiments: base cannot train %s at all", m)
+			return
 		}
 		p, err := Prepare(m, models.Config{BatchSize: baseMax}, dev)
 		if err != nil {
-			return nil, err
+			errs[mi] = err
+			return
 		}
-		baseThr := RunPolicy(p, "base", 0).Throughput(baseMax)
-		for _, pol := range []string{"superneurons", "tsplit-nosplit", "tsplit"} {
-			// Throughput rises then falls with batch size, so the
-			// constraint binds on the falling side: start from the
-			// policy's feasibility limit and step down until the
-			// throughput floor is met.
-			polMax := MaxSampleScale(m, pol, dev, models.Config{}, hi)
-			thrAt := func(b int) float64 {
-				pp, err := Prepare(m, models.Config{BatchSize: b}, dev)
-				if err != nil {
-					return 0
-				}
-				return RunPolicy(pp, pol, 0).Throughput(b)
+		baseThr[mi] = RunPolicy(p, "base", 0).Throughput(baseMax)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	results := make([][]ThroughputConstrainedScale, len(mods)*len(pols))
+	forEach(len(results), func(k int) {
+		m, pol := mods[k/len(pols)], pols[k%len(pols)]
+		// Throughput rises then falls with batch size, so the
+		// constraint binds on the falling side: start from the
+		// policy's feasibility limit and step down until the
+		// throughput floor is met.
+		polMax := MaxSampleScale(m, pol, dev, models.Config{}, hi)
+		thrAt := func(b int) float64 {
+			pp, err := Prepare(m, models.Config{BatchSize: b}, dev)
+			if err != nil {
+				return 0
 			}
-			for _, pct := range []int{60, 50} {
-				need := baseThr * float64(pct) / 100
-				step := polMax / 24
-				if step < 1 {
-					step = 1
-				}
-				max := 0
-				for b := polMax; b >= 1; b -= step {
-					if thrAt(b) >= need {
-						max = b
-						break
-					}
-				}
-				rows = append(rows, ThroughputConstrainedScale{
-					Model: m, Policy: pol, Pct: pct, MaxSize: max,
-				})
-			}
+			return RunPolicy(pp, pol, 0).Throughput(b)
 		}
+		for _, pct := range []int{60, 50} {
+			need := baseThr[k/len(pols)] * float64(pct) / 100
+			step := polMax / 24
+			if step < 1 {
+				step = 1
+			}
+			max := 0
+			for b := polMax; b >= 1; b -= step {
+				if thrAt(b) >= need {
+					max = b
+					break
+				}
+			}
+			results[k] = append(results[k], ThroughputConstrainedScale{
+				Model: m, Policy: pol, Pct: pct, MaxSize: max,
+			})
+		}
+	})
+	var rows []ThroughputConstrainedScale
+	for _, r := range results {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

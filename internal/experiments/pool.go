@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment sweeps are embarrassingly parallel: every (model,
+// batch, device, policy) cell prepares its own graph, schedule and
+// profile, so cells share no mutable state. forEach fans the cell
+// indices out over a bounded worker pool; each cell writes its result
+// into its own index of a caller-owned slice, so the assembled tables
+// and figures are identical to a sequential sweep regardless of
+// completion order.
+
+// forEach runs fn(i) for every i in [0, n), on up to GOMAXPROCS
+// workers. Work is handed out dynamically (cells vary wildly in cost:
+// an infeasible cell fails fast, a near-frontier scale search plans
+// dozens of times).
+func forEach(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-index non-nil error, so concurrent
+// sweeps report the same failure a sequential sweep would have hit
+// first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"tsplit/internal/device"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		forEach(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("n=%d: index %d visited twice", n, i)
+			}
+			hits.Add(1)
+		})
+		if int(hits.Load()) != n {
+			t.Fatalf("n=%d: %d calls", n, hits.Load())
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if firstError([]error{nil, nil}) != nil {
+		t.Fatal("nil slice should give nil")
+	}
+	a, b := errors.New("a"), errors.New("b")
+	if got := firstError([]error{nil, a, b}); got != a {
+		t.Fatalf("firstError = %v, want lowest-index error", got)
+	}
+}
+
+// TestConcurrentSweepsDeterministic forces real fan-out (the container
+// may have GOMAXPROCS=1, where forEach degenerates to a sequential
+// loop) and checks that a table and a figure assembled from concurrent
+// cells are identical across runs — i.e. independent of goroutine
+// completion order.
+func TestConcurrentSweepsDeterministic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	small := device.TitanRTX
+	small.MemBytes = 6 << 30
+
+	t1 := Table4MaxSampleScale(small, 48)
+	t2 := Table4MaxSampleScale(small, 48)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("Table IV not deterministic:\n%s\nvs\n%s", t1.Render(), t2.Render())
+	}
+	if t1.Get("vgg16", "base") <= 0 {
+		t.Fatal("base cannot train vgg16 at all")
+	}
+
+	rows1, err := Fig2bOverheadPCIe(device.TitanRTX, "superneurons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := Fig2bOverheadPCIe(device.TitanRTX, "superneurons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Fatal("Fig. 2(b) rows not deterministic")
+	}
+}

@@ -66,18 +66,33 @@ func applicable(model, policy string) bool {
 	return policy != "vdnn-conv" && policy != "superneurons"
 }
 
-// maxScaleTable runs one scale sweep.
+// maxScaleTable runs one scale sweep. The (model, policy) cells are
+// independent — every search prepares its own workload — so they run
+// concurrently; results land in per-cell slots and the table is
+// assembled in the sequential order afterwards.
 func maxScaleTable(title string, policies []string, dev device.Device, hi int, search func(model, policy string, hi int) int) *ScaleTable {
 	t := &ScaleTable{Title: title, Models: EvalModels, Policies: policies, Cells: map[string]map[string]int{}}
+	type cell struct{ model, policy string }
+	cells := make([]cell, 0, len(EvalModels)*len(policies))
 	for _, m := range EvalModels {
-		t.Cells[m] = map[string]int{}
 		for _, p := range policies {
-			if !applicable(m, p) {
-				t.Cells[m][p] = -1
-				continue
-			}
-			t.Cells[m][p] = search(m, p, hi)
+			cells = append(cells, cell{m, p})
 		}
+	}
+	results := make([]int, len(cells))
+	forEach(len(cells), func(i int) {
+		c := cells[i]
+		if !applicable(c.model, c.policy) {
+			results[i] = -1
+			return
+		}
+		results[i] = search(c.model, c.policy, hi)
+	})
+	for i, c := range cells {
+		if t.Cells[c.model] == nil {
+			t.Cells[c.model] = map[string]int{}
+		}
+		t.Cells[c.model][c.policy] = results[i]
 	}
 	return t
 }

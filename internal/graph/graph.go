@@ -43,6 +43,7 @@ func (g *Graph) NewTensor(name string, shape tensor.Shape, dt tensor.DType, kind
 		Shape: shape.Clone(),
 		DType: dt,
 		Kind:  kind,
+		bytes: shape.Bytes(dt),
 	}
 	g.nextTensorID++
 	g.Tensors = append(g.Tensors, t)

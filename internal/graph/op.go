@@ -164,10 +164,21 @@ type Tensor struct {
 	// GradOf links a Gradient/ParamGrad tensor back to the value it is
 	// the gradient of; nil for non-gradient tensors.
 	GradOf *Tensor
+
+	// bytes caches Shape.Bytes(DType), computed once at construction
+	// (graph.NewTensor) — Bytes() sits on the planner's hottest loops
+	// and the shape walk is too expensive to repeat there. Zero for
+	// hand-assembled tensors, which fall back to computing on demand.
+	bytes int64
 }
 
 // Bytes returns the tensor's storage footprint.
-func (t *Tensor) Bytes() int64 { return t.Shape.Bytes(t.DType) }
+func (t *Tensor) Bytes() int64 {
+	if t.bytes != 0 {
+		return t.bytes
+	}
+	return t.Shape.Bytes(t.DType)
+}
 
 // String renders "name kind shape (size)".
 func (t *Tensor) String() string {

@@ -126,6 +126,12 @@ func (o *Occupancy) rebuild() {
 	o.dirty = false
 }
 
+// Materialize forces the lazy freeCum rebuild now. Call it before
+// handing the tracker to concurrent readers: FreeTime/Stall are
+// read-only afterwards (until the next Reserve), so a materialized
+// tracker can be shared by a scoring worker pool without locks.
+func (o *Occupancy) Materialize() { o.rebuild() }
+
 // FreeTime returns Σ (1-Oc_u)·T_u over [from, to] — the transfer time
 // that can be hidden under computation in that window (Eq. 3).
 func (o *Occupancy) FreeTime(from, to int) float64 {

@@ -123,7 +123,10 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 				if !wr || s.state[t] != onDevice || s.pinned[t] {
 					continue
 				}
-				if victim == nil || t.Bytes() > victim.Bytes() {
+				// Largest first; ties broken by ID so the choice does not
+				// depend on map iteration order.
+				if victim == nil || t.Bytes() > victim.Bytes() ||
+					(t.Bytes() == victim.Bytes() && t.ID < victim.ID) {
 					victim = t
 				}
 			}

@@ -261,7 +261,16 @@ func (s *Simulator) reset() {
 	heap.Init(&s.pending)
 	s.res = Result{}
 	s.prefetch = make(map[int][]*graph.Tensor)
-	for _, tp := range s.Plan.Tensors {
+	// Iterate the plan in tensor-ID order so prefetches sharing a
+	// schedule point are issued deterministically (Plan.Tensors is a
+	// map; ranging it directly would vary the H2D order run to run).
+	ids := make([]int, 0, len(s.Plan.Tensors))
+	for id := range s.Plan.Tensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tp := s.Plan.Tensors[id]
 		if tp.Opt == core.Swap && tp.MicroRestore <= 1 && tp.RestoreAt >= 0 {
 			at := tp.PrefetchAt
 			if at < 0 || at > tp.RestoreAt {
