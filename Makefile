@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet fmt build test race bench bench-guard ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -22,4 +28,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlannerPlan' -benchtime 1x .
 
-ci: vet build race bench
+# Fail if the Plan() hot path (nil Recorder) regresses more than 10%
+# allocs/op against the baseline recorded in bench_results.txt.
+bench-guard:
+	sh scripts/bench_guard.sh
+
+ci: vet fmt build race bench bench-guard

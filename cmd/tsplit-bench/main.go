@@ -18,12 +18,35 @@ import (
 
 	"tsplit/internal/device"
 	"tsplit/internal/experiments"
+	"tsplit/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
 	quick := flag.Bool("quick", false, "trim scale-search bounds for a fast run")
+	metrics := flag.String("metrics", "", "write Prometheus text metrics for the whole run to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		experiments.Obs = reg
+		defer func() {
+			out := os.Stdout
+			if *metrics != "-" {
+				f, err := os.Create(*metrics)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+					return
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := reg.WritePrometheus(out); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			}
+		}()
+	}
 
 	hi := 0 // default search bounds
 	hiParam := 0

@@ -6,18 +6,30 @@
 // staying under the budget.
 //
 //	tsplit-train -batch 32 -steps 10 -budget 0.6
+//
+// With -model it instead plans and simulates a zoo model (vgg16,
+// bert-large, ...) on a Titan RTX. Either mode exports observability
+// artifacts on request:
+//
+//	tsplit-train -model vgg16 -batch 64 \
+//	    -metrics out.prom -trace out.json -plan-report report.json
+//
+// Open the trace in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tsplit/internal/core"
 	"tsplit/internal/graph"
 	"tsplit/internal/hostexec"
 	"tsplit/internal/nn"
 	"tsplit/internal/profiler"
+	"tsplit/internal/sim"
 	"tsplit/internal/tensor"
 
 	"tsplit"
@@ -41,11 +53,117 @@ func buildNet(batch int) (*graph.Graph, *graph.Tensor) {
 	return g, images
 }
 
+// outputs groups the observability flags shared by both modes.
+type outputs struct {
+	metrics, trace, report string
+	reg                    *tsplit.Registry
+}
+
+func (o *outputs) wantTrace() bool { return o.trace != "" }
+
+// writeFile opens path ("-" = stdout) and hands it to fn.
+func writeFile(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (o *outputs) writeMetrics() {
+	if o.metrics == "" {
+		return
+	}
+	if err := writeFile(o.metrics, o.reg.WritePrometheus); err != nil {
+		log.Fatalf("writing metrics: %v", err)
+	}
+	fmt.Printf("metrics written to %s\n", o.metrics)
+}
+
+func (o *outputs) writeReport(rep *tsplit.PlanReport) {
+	if o.report == "" || rep == nil {
+		return
+	}
+	if err := writeFile(o.report, rep.WriteJSON); err != nil {
+		log.Fatalf("writing plan report: %v", err)
+	}
+	fmt.Printf("plan report (%d decisions) written to %s\n", len(rep.Decisions), o.report)
+}
+
+func (o *outputs) writeTrace(timeline []sim.TimelinePoint) {
+	if o.trace == "" {
+		return
+	}
+	if err := writeFile(o.trace, func(w io.Writer) error {
+		return sim.WriteChromeTrace(w, timeline)
+	}); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	fmt.Printf("trace (%d timeline points) written to %s — open in https://ui.perfetto.dev\n",
+		len(timeline), o.trace)
+}
+
+// runZoo plans and simulates one iteration of a zoo model under a
+// budget, exporting whatever artifacts were requested.
+func runZoo(model string, batch int, budget float64, out *outputs) {
+	w, err := tsplit.Load(model, tsplit.ModelConfig{BatchSize: batch}, tsplit.TitanRTX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap := int64(float64(w.BaselinePeakBytes()) * budget)
+	if cap > w.Dev.MemBytes {
+		cap = w.Dev.MemBytes
+	}
+	fmt.Printf("%s batch %d: unmanaged peak %.2f GiB; budget %.2f GiB\n",
+		model, batch, float64(w.BaselinePeakBytes())/(1<<30), float64(cap)/(1<<30))
+
+	plan, report, err := w.PlanWithReport(tsplit.PlanOptions{
+		CapacityBytes: cap, Observe: out.reg,
+	})
+	if err != nil {
+		log.Fatalf("planning: %v", err)
+	}
+	fmt.Println(plan)
+
+	opts := []tsplit.RunOption{tsplit.Observe(out.reg)}
+	if out.wantTrace() {
+		opts = append(opts, tsplit.WithTimeline())
+	}
+	rep, err := w.Run(plan, opts...)
+	if err != nil {
+		log.Fatalf("simulating: %v", err)
+	}
+	fmt.Printf("simulated iteration: %.1f samples/s, peak %.2f GiB, overhead %.1f%%, PCIe %.0f%%\n",
+		rep.Throughput, rep.PeakGiB, rep.Overhead*100, rep.PCIeUtilization*100)
+
+	out.writeReport(report)
+	out.writeTrace(rep.Raw.Timeline)
+	out.writeMetrics()
+}
+
 func main() {
+	model := flag.String("model", "", "zoo model to plan and simulate (e.g. vgg16, bert-large); empty = real float32 training demo")
 	batch := flag.Int("batch", 32, "batch size")
-	steps := flag.Int("steps", 10, "training steps")
+	steps := flag.Int("steps", 10, "training steps (demo mode)")
 	budget := flag.Float64("budget", 0.65, "device budget as a fraction of the unmanaged peak")
+	metrics := flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" = stdout)")
+	trace := flag.String("trace", "", "write a Chrome/Perfetto trace of the simulated iteration to this file")
+	planReport := flag.String("plan-report", "", "write the planner's JSON decision report to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	out := &outputs{metrics: *metrics, trace: *trace, report: *planReport, reg: tsplit.NewRegistry()}
+
+	if *model != "" {
+		runZoo(*model, *batch, *budget, out)
+		return
+	}
 
 	g, images := buildNet(*batch)
 	sched, err := graph.BuildSchedule(g)
@@ -57,9 +175,11 @@ func main() {
 	cap := int64(float64(lv.Peak) * *budget)
 	fmt.Printf("unmanaged peak %.2f MiB; budget %.2f MiB\n", float64(lv.Peak)/(1<<20), float64(cap)/(1<<20))
 
-	plan, err := core.NewPlanner(g, sched, lv, prof, tsplit.TitanRTX, core.Options{
+	pl := core.NewPlanner(g, sched, lv, prof, tsplit.TitanRTX, core.Options{
 		Capacity: cap * 85 / 100, FragmentationReserve: -1,
-	}).Plan()
+		Obs: out.reg, CollectReport: out.report != "",
+	})
+	plan, err := pl.Plan()
 	if err != nil {
 		log.Fatalf("planning: %v", err)
 	}
@@ -100,4 +220,16 @@ func main() {
 	fmt.Printf("\npeaks: unconstrained %.2f MiB, planned %.2f MiB (budget %.2f MiB); %d swaps, %d recomputes\n",
 		float64(free.PeakBytes)/(1<<20), float64(tight.PeakBytes)/(1<<20), float64(cap)/(1<<20),
 		tight.Swaps, tight.Recomputes)
+
+	out.writeReport(pl.Report())
+	if out.wantTrace() {
+		res, err := sim.New(g, sched, lv, plan, tsplit.TitanRTX, sim.Options{
+			Recompute: sim.LRURecompute, CollectTimeline: true, Obs: out.reg,
+		}).Run()
+		if err != nil {
+			log.Fatalf("simulating for trace: %v", err)
+		}
+		out.writeTrace(res.Timeline)
+	}
+	out.writeMetrics()
 }

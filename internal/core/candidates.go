@@ -159,4 +159,3 @@ func chainTransientBytes(chain []*graph.Op, t *graph.Tensor) int64 {
 	}
 	return max
 }
-

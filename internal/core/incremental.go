@@ -278,10 +278,13 @@ func (pl *Planner) noteChanges(d planDelta) {
 // it re-derives only the chains whose queried dependency set
 // intersects the tensors changed since the last iteration. Chains
 // whose dependencies are untouched would re-derive identically, so
-// skipping them cannot diverge from the serial full refresh.
-func (pl *Planner) refreshChainsDirty() {
+// skipping them cannot diverge from the serial full refresh. It
+// returns the number of chains actually re-derived — planner
+// introspection reports it against the tracked-chain count to quantify
+// the incremental saving.
+func (pl *Planner) refreshChainsDirty() int {
 	if len(pl.ct.dirty) == 0 {
-		return
+		return 0
 	}
 	if cap(pl.dirtyScratch) < len(pl.ct.dirty) {
 		pl.dirtyScratch = make([]int, 0, len(pl.ct.dirty))
@@ -290,6 +293,7 @@ func (pl *Planner) refreshChainsDirty() {
 	for id := range pl.ct.dirty {
 		owners = append(owners, id)
 	}
+	rederived := 0
 	for _, id := range owners {
 		delete(pl.ct.dirty, id)
 		tp, ok := pl.plan.Tensors[id]
@@ -297,6 +301,7 @@ func (pl *Planner) refreshChainsDirty() {
 			pl.ct.drop(id)
 			continue
 		}
+		rederived++
 		touched := make(map[int]struct{}, 16)
 		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), touched)
 		pl.ct.deps[id] = touched
@@ -309,4 +314,5 @@ func (pl *Planner) refreshChainsDirty() {
 			pl.curve.update(tp.Tensor)
 		}
 	}
+	return rederived
 }

@@ -21,9 +21,10 @@ import "sync"
 const minParallelTasks = 256
 
 // runScoring scores every candidate for bottleneck i on up to
-// `workers` goroutines and returns the fold winner, or nil when no
-// task produced a viable candidate.
-func (pl *Planner) runScoring(i, workers int) *candidate {
+// `workers` goroutines and returns the fold winner — nil when no task
+// produced a viable candidate — plus the number of viable candidates
+// (the pool size reported by planner introspection).
+func (pl *Planner) runScoring(i, workers int) (*candidate, int) {
 	nT := len(pl.G.Tensors)
 	nS := 0
 	if !pl.Opts.DisableSplit {
@@ -75,12 +76,16 @@ func (pl *Planner) runScoring(i, workers int) *candidate {
 	}
 
 	var best *candidate
+	viable := 0
 	for k := range cands {
-		if c := &cands[k]; c.valid && pl.better(c, best) {
-			best = c
+		if c := &cands[k]; c.valid {
+			viable++
+			if pl.better(c, best) {
+				best = c
+			}
 		}
 	}
-	return best
+	return best, viable
 }
 
 // scoreTask dispatches task k: tensors first, then the split window.

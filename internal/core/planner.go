@@ -5,9 +5,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"tsplit/internal/device"
 	"tsplit/internal/graph"
+	"tsplit/internal/obs"
 	"tsplit/internal/profiler"
 	"tsplit/internal/tensor"
 )
@@ -64,6 +66,14 @@ type Options struct {
 	// DisableGenTieBreak turns off the earlier-generated-tensor
 	// preference on near-tied ratios (ablation 4).
 	DisableGenTieBreak bool
+
+	// Obs receives planner metrics (candidates scored, decisions by
+	// kind, chain-refresh savings, plan latency). Nil disables all
+	// observation; the nil path adds no allocations to Plan().
+	Obs obs.Recorder
+	// CollectReport makes Plan() assemble a PlanReport (per-iteration
+	// decision log), retrievable with Planner.Report().
+	CollectReport bool
 
 	// defaulted marks an Options value that already went through
 	// withDefaults: applying defaults twice must not subtract the
@@ -148,6 +158,20 @@ type Planner struct {
 	workers      int
 	maxTensorID  int
 	dirtyScratch []int
+
+	// --- observability state (see report.go) ---
+
+	report *PlanReport
+	// Aggregate tallies kept as plain integers so the hot loop never
+	// touches the Recorder; they are emitted once at the end of Plan().
+	statIters     int64
+	statCands     int64
+	statRederived int64
+	statSkipped   int64
+	// nRecompute counts committed recompute decisions — the number of
+	// chains the refresh passes are responsible for.
+	nRecompute int
+	statStart  time.Time
 }
 
 // NewPlanner assembles a planner for one (graph, schedule, device).
@@ -251,7 +275,15 @@ func (pl *Planner) Plan() (*Plan, error) {
 	}
 	pl.occ = profiler.NewOccupancy(pl.Prof)
 	pl.swapStall = make(map[int]float64)
+	pl.statIters, pl.statCands, pl.statRederived, pl.statSkipped, pl.nRecompute = 0, 0, 0, 0, 0
+	pl.report = nil
+	if pl.Opts.Obs != nil {
+		pl.statStart = time.Now()
+	}
 	cap := pl.Opts.Capacity
+	if pl.Opts.CollectReport {
+		pl.report = &PlanReport{Policy: pl.plan.Name, Device: pl.Dev.Name, CapacityBytes: cap}
+	}
 	incremental := !pl.Opts.Serial
 	if incremental {
 		pl.curve = newMemCurve(pl.ms, pl.plan, pl.maxTensorID)
@@ -260,16 +292,31 @@ func (pl *Planner) Plan() (*Plan, error) {
 
 	for iter := 0; ; iter++ {
 		if iter >= pl.Opts.MaxIterations {
+			pl.countFailure("nonconverged")
 			return pl.plan, fmt.Errorf("core: planning did not converge in %d iterations", iter)
 		}
 		var memAt []int64
 		var peak int64
+		var rederived int
 		if incremental {
-			pl.refreshChainsDirty()
+			rederived = pl.refreshChainsDirty()
 			memAt, peak, _ = pl.curve.scan()
 		} else {
-			pl.refreshChains()
+			rederived = pl.refreshChains()
 			memAt, peak, _ = pl.ms.Curve(pl.plan)
+		}
+		pl.statRederived += int64(rederived)
+		if skipped := pl.nRecompute - rederived; skipped > 0 {
+			pl.statSkipped += int64(skipped)
+		}
+		if pl.report != nil {
+			// The scan that follows a commit reveals its effect: fill
+			// the previous decision's PeakAfter now.
+			if n := len(pl.report.Decisions); n > 0 {
+				pl.report.Decisions[n-1].PeakAfter = peak
+			} else {
+				pl.report.InitialPeakBytes = peak
+			}
 		}
 		if peak <= cap {
 			break
@@ -281,10 +328,17 @@ func (pl *Planner) Plan() (*Plan, error) {
 				break
 			}
 		}
-		best := pl.bestCandidate(i)
+		best, scored := pl.bestCandidate(i)
+		pl.statCands += int64(scored)
 		if best == nil {
+			pl.countFailure("infeasible")
 			return pl.plan, fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
 				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAt[i]-cap)/(1<<20))
+		}
+		pl.statIters++
+		if pl.report != nil {
+			pl.report.Decisions = append(pl.report.Decisions,
+				pl.decisionRecord(iter, i, memAt[i]-cap, peak, scored, rederived, best))
 		}
 		delta := pl.applyCandidate(best)
 		if incremental {
@@ -299,7 +353,90 @@ func (pl *Planner) Plan() (*Plan, error) {
 	_, peak, _ := pl.ms.Curve(pl.plan)
 	pl.plan.PredictedPeak = peak
 	pl.plan.PredictedTime = pl.Prof.Total() + pl.extraTime
+	pl.finishObservation(peak)
 	return pl.plan, nil
+}
+
+// Report returns the introspection record of the last Plan() call, or
+// nil unless Options.CollectReport was set.
+func (pl *Planner) Report() *PlanReport { return pl.report }
+
+// decisionRecord assembles the PlanDecision for a committed candidate.
+// PeakAfter is filled by the next iteration's curve scan.
+func (pl *Planner) decisionRecord(iter, i int, over, peak int64, scored, rederived int, c *candidate) PlanDecision {
+	d := PlanDecision{
+		Iter: iter, Bottleneck: i, BottleneckOp: pl.Sched.Ops[i].Name,
+		OverBytes: over, PeakBefore: peak,
+		Candidates: scored, Kind: decisionKind(c),
+		Ratio: c.ratio, DeltaTSeconds: c.deltaT, DeltaMBytes: c.deltaM,
+		ChainsRederived: rederived, ChainsTracked: pl.nRecompute,
+	}
+	if c.isSplit {
+		d.Op = c.split.Op.Name
+		d.PNum = c.split.PNum
+		d.Dim = c.split.Dim.String()
+		d.InOpt = c.split.InOpt.String()
+		if c.in != nil {
+			d.Tensor = c.in.Name
+		}
+	} else {
+		d.Tensor = c.t.Name
+	}
+	return d
+}
+
+// countFailure records a failed Plan() outcome on the Recorder.
+func (pl *Planner) countFailure(reason string) {
+	if rec := pl.Opts.Obs; rec != nil {
+		rec.Add("tsplit_planner_failures_total", 1, obs.L("reason", reason))
+	}
+}
+
+// finishObservation finalizes the report and emits the aggregated
+// planner metrics. All hot-loop tallies are plain integers; this is the
+// only place the Recorder is touched on the success path.
+func (pl *Planner) finishObservation(finalPeak int64) {
+	if pl.report == nil && pl.Opts.Obs == nil {
+		return
+	}
+	counts := pl.plan.Counts()
+	if r := pl.report; r != nil {
+		r.FinalPeakBytes = finalPeak
+		r.PredictedTimeSeconds = pl.plan.PredictedTime
+		r.ExtraTimeSeconds = pl.extraTime
+		r.CandidatesScored = pl.statCands
+		r.ChainsRederived = pl.statRederived
+		r.ChainsSkipped = pl.statSkipped
+		r.MeanPCIeOccupancy = pl.occ.Mean()
+		ids := make([]int, 0, len(pl.plan.Splits))
+		for id, sp := range pl.plan.Splits {
+			if sp.EarlyOut {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			r.EarlyOutSplits = append(r.EarlyOutSplits, pl.plan.Splits[id].Op.Name)
+		}
+	}
+	rec := pl.Opts.Obs
+	if rec == nil {
+		return
+	}
+	rec.Add("tsplit_planner_plans_total", 1)
+	rec.Add("tsplit_planner_iterations_total", pl.statIters)
+	rec.Add("tsplit_planner_candidates_scored_total", pl.statCands)
+	rec.Add("tsplit_planner_chains_rederived_total", pl.statRederived)
+	rec.Add("tsplit_planner_chains_skipped_total", pl.statSkipped)
+	rec.Add("tsplit_planner_decisions_total", int64(counts.Swap), obs.L("kind", "swap"))
+	rec.Add("tsplit_planner_decisions_total", int64(counts.Recompute), obs.L("kind", "recompute"))
+	rec.Add("tsplit_planner_decisions_total", int64(counts.SplitOps), obs.L("kind", "split"))
+	rec.Add("tsplit_planner_planned_bytes_total", counts.SwapBytes, obs.L("kind", "swap"))
+	rec.Add("tsplit_planner_planned_bytes_total", counts.RecomputeBytes, obs.L("kind", "recompute"))
+	rec.Set("tsplit_planner_predicted_peak_bytes", float64(finalPeak))
+	rec.Set("tsplit_planner_predicted_extra_seconds", pl.extraTime)
+	rec.Set("tsplit_planner_mean_pcie_occupancy", pl.occ.Mean())
+	rec.Observe("tsplit_planner_plan_seconds", time.Since(pl.statStart).Seconds())
 }
 
 // refreshChains recomputes the transient-memory estimate of every
@@ -307,11 +444,14 @@ func (pl *Planner) Plan() (*Plan, error) {
 // earlier may have grown because a tensor it sourced from was itself
 // evicted by a later decision. This is the serial reference;
 // refreshChainsDirty (incremental.go) re-derives only affected chains.
-func (pl *Planner) refreshChains() {
+// It returns the number of chains re-derived (here: all of them).
+func (pl *Planner) refreshChains() int {
+	n := 0
 	for id, tp := range pl.plan.Tensors {
 		if tp.Opt != Recompute {
 			continue
 		}
+		n++
 		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), nil)
 		if err != nil {
 			continue
@@ -319,6 +459,7 @@ func (pl *Planner) refreshChains() {
 		tp.ChainBytes = chainTransientBytes(chain, tp.Tensor)
 		pl.plan.Tensors[id] = tp
 	}
+	return n
 }
 
 // better implements the greedy preference: smaller ΔT/ΔM wins, and on
@@ -358,9 +499,10 @@ func (pl *Planner) better(a, b *candidate) bool {
 
 // bestCandidate scores Step 1 (swap/recompute of live tensors) and
 // Step 2 (split of ops in the bottleneck's lookahead window) and
-// returns the winner of Step 3. The serial path runs the same scoring
-// tasks on one goroutine; both paths fold in identical order.
-func (pl *Planner) bestCandidate(i int) *candidate {
+// returns the winner of Step 3 plus the number of viable candidates
+// scored. The serial path runs the same scoring tasks on one
+// goroutine; both paths fold in identical order.
+func (pl *Planner) bestCandidate(i int) (*candidate, int) {
 	workers := 1
 	if !pl.Opts.Serial {
 		workers = pl.workers
@@ -450,6 +592,7 @@ func (pl *Planner) applyEvict(c *candidate) planDelta {
 	tp := TensorPlan{Tensor: t, Opt: c.opt, EvictAt: c.evictAt, RestoreAt: c.restoreAt, PrefetchAt: c.restoreAt}
 	if c.opt == Recompute {
 		tp.ChainBytes = c.chainBytes
+		pl.nRecompute++
 	}
 	if c.opt == Swap {
 		pl.occ.Reserve(c.transfer, c.evictAt+1, c.pos-1)
@@ -483,6 +626,9 @@ func (pl *Planner) applySplit(c *candidate) planDelta {
 	}
 	if c.splitNew && c.inOpt != Reside && c.restoreAt >= 0 {
 		tp := TensorPlan{Tensor: c.in, Opt: c.inOpt, EvictAt: c.evictAt, RestoreAt: c.restoreAt, PrefetchAt: c.restoreAt}
+		if c.inOpt == Recompute {
+			pl.nRecompute++
+		}
 		if c.inOpt == Swap {
 			transfer := pl.Prof.TransferTime(c.in.Bytes())
 			start, leftover := pl.occ.ReserveBack(transfer, c.pos, c.restoreAt-1)

@@ -4,7 +4,16 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tsplit/internal/obs"
 )
+
+// Obs, when set before a sweep starts, receives per-cell metrics from
+// every experiment in this package: tsplit_experiments_cells_total and
+// the tsplit_experiments_cell_seconds histogram. The Registry is
+// thread-safe, so the parallel sweeps record into it concurrently.
+var Obs obs.Recorder
 
 // The experiment sweeps are embarrassingly parallel: every (model,
 // batch, device, policy) cell prepares its own graph, schedule and
@@ -19,6 +28,15 @@ import (
 // an infeasible cell fails fast, a near-frontier scale search plans
 // dozens of times).
 func forEach(n int, fn func(int)) {
+	if rec := Obs; rec != nil {
+		inner := fn
+		fn = func(i int) {
+			start := time.Now()
+			inner(i)
+			rec.Observe("tsplit_experiments_cell_seconds", time.Since(start).Seconds())
+			rec.Add("tsplit_experiments_cells_total", 1)
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

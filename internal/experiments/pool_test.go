@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tsplit/internal/device"
+	"tsplit/internal/obs"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -33,6 +34,31 @@ func TestFirstError(t *testing.T) {
 	a, b := errors.New("a"), errors.New("b")
 	if got := firstError([]error{nil, a, b}); got != a {
 		t.Fatalf("firstError = %v, want lowest-index error", got)
+	}
+}
+
+// TestForEachObserved checks the per-cell instrumentation: with a
+// Registry installed as Obs, a fan-out records one cell count and one
+// duration sample per index, concurrently (run under -race).
+func TestForEachObserved(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	reg := obs.NewRegistry()
+	Obs = reg
+	defer func() { Obs = nil }()
+
+	const n = 64
+	var hits atomic.Int64
+	forEach(n, func(i int) { hits.Add(1) })
+	if hits.Load() != n {
+		t.Fatalf("%d calls for %d cells", hits.Load(), n)
+	}
+	if got := reg.Counter("tsplit_experiments_cells_total"); got != n {
+		t.Fatalf("cells_total = %d, want %d", got, n)
+	}
+	h := reg.Histogram("tsplit_experiments_cell_seconds")
+	if h.Count != n {
+		t.Fatalf("cell_seconds count = %d, want %d", h.Count, n)
 	}
 }
 

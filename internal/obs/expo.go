@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue applies the Prometheus text-format escaping rules
+// for label values: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float64 the way Prometheus expects: shortest
+// exact representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the exposition, with extra
+// prepended before the series' own labels (the histogram le label).
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), extra...), labels...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers once per metric
+// name, series sorted by name then label set, histograms expanded into
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	lastName := ""
+	for _, m := range snap {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, labelString(m.Labels), m.Int); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatFloat(m.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			h := m.Histogram
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				le := Label{Key: "le", Value: formatFloat(bound)}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelString(m.Labels, le), cum); err != nil {
+					return err
+				}
+			}
+			le := Label{Key: "le", Value: "+Inf"}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelString(m.Labels, le), h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels), formatFloat(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON — the structured
+// export for dashboards and tests.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

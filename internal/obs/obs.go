@@ -1,0 +1,85 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry (counters, gauges, histograms) with exact int64/float64
+// semantics, snapshotting, Prometheus text exposition and JSON export.
+//
+// The subsystems that produce metrics — the planner (internal/core),
+// the discrete-event runtime (internal/sim) and the experiment pool
+// (internal/experiments) — accept a Recorder; a nil Recorder disables
+// observation entirely and must cost nothing on the hot paths (the
+// bench-guard CI step holds the Plan() benchmarks to that bar).
+//
+// Metric naming follows the Prometheus conventions:
+//
+//	tsplit_<subsystem>_<what>[_<unit>][_total]
+//
+// e.g. tsplit_planner_decisions_total{kind="swap"} or
+// tsplit_sim_stall_seconds{cause="compaction"}. Counters are
+// monotonically increasing int64s, gauges are float64 last-value
+// samples, histograms record exact per-bucket counts plus an exact
+// count and float64 sum of observations.
+package obs
+
+import "sync"
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Recorder receives metric updates. All methods are safe for
+// concurrent use on the Registry implementation. Callers hold a
+// possibly-nil Recorder and must guard hot paths with a nil check —
+// that guard is the entire cost of disabled observation.
+type Recorder interface {
+	// Add increments the counter by delta (creating it at zero).
+	Add(name string, delta int64, labels ...Label)
+	// Set updates the gauge to v.
+	Set(name string, v float64, labels ...Label)
+	// Observe records v into the histogram.
+	Observe(name string, v float64, labels ...Label)
+}
+
+// DefaultBuckets are the histogram bucket upper bounds used when a
+// metric has no explicit SetBuckets configuration: log-spaced seconds
+// covering microsecond kernels through multi-second iterations.
+var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100}
+
+// metricKind discriminates the three series types.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	mu      sync.Mutex
+	counter int64
+	gauge   float64
+	// histogram state: counts[i] counts observations <= bounds[i];
+	// counts[len(bounds)] is the +Inf overflow bucket.
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+}

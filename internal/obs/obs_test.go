@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full text exposition: HELP/TYPE
+// headers, label sorting and escaping, exact counter integers, gauge
+// float formatting, and cumulative histogram expansion.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("tsplit_test_ops_total", "Operations\nexecuted, with a \\ backslash.")
+	r.SetHelp("tsplit_test_latency_seconds", "Latency distribution.")
+	r.SetBuckets("tsplit_test_latency_seconds", []float64{0.1, 1})
+
+	r.Add("tsplit_test_ops_total", 3, L("kind", `sw"ap`))
+	r.Add("tsplit_test_ops_total", 2, L("kind", "re\ncompute"))
+	r.Add("tsplit_test_ops_total", 1, L("kind", `sw"ap`))
+	r.Set("tsplit_test_mem_bytes", 1.5e9)
+	r.Observe("tsplit_test_latency_seconds", 0.05)
+	r.Observe("tsplit_test_latency_seconds", 0.5)
+	r.Observe("tsplit_test_latency_seconds", 2.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP tsplit_test_latency_seconds Latency distribution.`,
+		`# TYPE tsplit_test_latency_seconds histogram`,
+		`tsplit_test_latency_seconds_bucket{le="0.1"} 1`,
+		`tsplit_test_latency_seconds_bucket{le="1"} 2`,
+		`tsplit_test_latency_seconds_bucket{le="+Inf"} 3`,
+		`tsplit_test_latency_seconds_sum 3.05`,
+		`tsplit_test_latency_seconds_count 3`,
+		`# TYPE tsplit_test_mem_bytes gauge`,
+		`tsplit_test_mem_bytes 1.5e+09`,
+		`# HELP tsplit_test_ops_total Operations\nexecuted, with a \\ backslash.`,
+		`# TYPE tsplit_test_ops_total counter`,
+		`tsplit_test_ops_total{kind="re\ncompute"} 2`,
+		`tsplit_test_ops_total{kind="sw\"ap"} 4`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestCounterExactness checks int64 semantics survive values float64
+// cannot represent exactly.
+func TestCounterExactness(t *testing.T) {
+	r := NewRegistry()
+	big := int64(1)<<53 + 1 // not representable as float64
+	r.Add("tsplit_test_big_total", big)
+	if got := r.Counter("tsplit_test_big_total"); got != big {
+		t.Fatalf("counter %d != %d", got, big)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tsplit_test_big_total 9007199254740993\n") {
+		t.Fatalf("exact integer lost in exposition:\n%s", buf.String())
+	}
+}
+
+// TestJSONExport round-trips the snapshot through encoding/json.
+func TestJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Add("tsplit_test_a_total", 7, L("x", "y"))
+	r.Set("tsplit_test_b", 2.25)
+	r.Observe("tsplit_test_c_seconds", 0.3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Metric
+	if err := json.Unmarshal(buf.Bytes(), &ms); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("want 3 metrics, got %d", len(ms))
+	}
+	if ms[0].Name != "tsplit_test_a_total" || ms[0].Int != 7 || ms[0].Labels[0] != L("x", "y") {
+		t.Fatalf("counter not preserved: %+v", ms[0])
+	}
+	if ms[2].Histogram == nil || ms[2].Histogram.Count != 1 {
+		t.Fatalf("histogram not preserved: %+v", ms[2])
+	}
+}
+
+// TestLabelOrderInsensitive checks that label order does not create
+// distinct series.
+func TestLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	r.Add("tsplit_test_m_total", 1, L("a", "1"), L("b", "2"))
+	r.Add("tsplit_test_m_total", 1, L("b", "2"), L("a", "1"))
+	if got := r.Counter("tsplit_test_m_total", L("a", "1"), L("b", "2")); got != 2 {
+		t.Fatalf("label order split the series: %d", got)
+	}
+	if len(r.Snapshot()) != 1 {
+		t.Fatalf("expected one series, got %d", len(r.Snapshot()))
+	}
+}
+
+// TestKindMismatchPanics pins the programming-error contract.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Add("tsplit_test_k", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Set("tsplit_test_k", 1)
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines —
+// counters, gauges, histograms, plus snapshots and expositions racing
+// against the writers. Run under -race (make ci does); the final
+// counter and histogram totals must be exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lab := L("worker", string(rune('a'+w%4)))
+			for i := 0; i < perWorker; i++ {
+				r.Add("tsplit_test_conc_total", 1)
+				r.Add("tsplit_test_conc_total", 1, lab)
+				r.Set("tsplit_test_conc_gauge", float64(i))
+				r.Observe("tsplit_test_conc_seconds", float64(i)*1e-4)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					var buf bytes.Buffer
+					_ = r.WritePrometheus(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("tsplit_test_conc_total"); got != workers*perWorker {
+		t.Fatalf("lost counter updates: %d != %d", got, workers*perWorker)
+	}
+	var histTotal int64
+	for _, m := range r.Snapshot() {
+		if m.Name == "tsplit_test_conc_seconds" {
+			histTotal = m.Histogram.Count
+		}
+	}
+	if histTotal != workers*perWorker {
+		t.Fatalf("lost histogram observations: %d != %d", histTotal, workers*perWorker)
+	}
+}

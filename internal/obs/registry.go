@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is the concrete Recorder: a concurrency-safe collection of
+// named series. The zero value is not usable; create with NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	series  map[string]*series
+	help    map[string]string
+	buckets map[string][]float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series:  make(map[string]*series),
+		help:    make(map[string]string),
+		buckets: make(map[string][]float64),
+	}
+}
+
+// SetHelp attaches a HELP string to a metric name (shown in the
+// Prometheus exposition).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// SetBuckets configures the histogram bucket upper bounds for a metric
+// name; it must be called before the first Observe of that name
+// (series created earlier keep their bounds). Bounds must be sorted
+// ascending.
+func (r *Registry) SetBuckets(name string, bounds []float64) {
+	r.mu.Lock()
+	r.buckets[name] = append([]float64(nil), bounds...)
+	r.mu.Unlock()
+}
+
+// seriesKey builds the map key for (name, labels); labels are sorted
+// by key so the same label set always resolves to the same series.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// get returns the series for (name, labels, kind), creating it on
+// first use. Mixing kinds under one name panics: it is a programming
+// error, not a runtime condition.
+func (r *Registry) get(name string, kind metricKind, labels []Label) *series {
+	if len(labels) > 1 {
+		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s != nil {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s used as both %s and %s", name, s.kind, kind))
+		}
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[key]; s != nil {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s used as both %s and %s", name, s.kind, kind))
+		}
+		return s
+	}
+	s = &series{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	if kind == histogramKind {
+		bounds := r.buckets[name]
+		if bounds == nil {
+			bounds = DefaultBuckets
+		}
+		s.bounds = bounds
+		s.counts = make([]int64, len(bounds)+1)
+	}
+	r.series[key] = s
+	return s
+}
+
+// Add implements Recorder: exact int64 counter increment.
+func (r *Registry) Add(name string, delta int64, labels ...Label) {
+	s := r.get(name, counterKind, labels)
+	s.mu.Lock()
+	s.counter += delta
+	s.mu.Unlock()
+}
+
+// Set implements Recorder: gauge last-value update.
+func (r *Registry) Set(name string, v float64, labels ...Label) {
+	s := r.get(name, gaugeKind, labels)
+	s.mu.Lock()
+	s.gauge = v
+	s.mu.Unlock()
+}
+
+// Observe implements Recorder: histogram observation.
+func (r *Registry) Observe(name string, v float64, labels ...Label) {
+	s := r.get(name, histogramKind, labels)
+	s.mu.Lock()
+	i := sort.SearchFloat64s(s.bounds, v) // first bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// Counter reads the current value of a counter series (0 when the
+// series does not exist). Intended for tests and reporting.
+func (r *Registry) Counter(name string, labels ...Label) int64 {
+	if len(labels) > 1 {
+		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	}
+	r.mu.RLock()
+	s := r.series[seriesKey(name, labels)]
+	r.mu.RUnlock()
+	if s == nil || s.kind != counterKind {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter
+}
+
+// Gauge reads the current value of a gauge series (0 when absent).
+func (r *Registry) Gauge(name string, labels ...Label) float64 {
+	if len(labels) > 1 {
+		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	}
+	r.mu.RLock()
+	s := r.series[seriesKey(name, labels)]
+	r.mu.RUnlock()
+	if s == nil || s.kind != gaugeKind {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gauge
+}
+
+// Histogram reads a copy of a histogram series' state (zero-value
+// snapshot when absent).
+func (r *Registry) Histogram(name string, labels ...Label) HistogramSnapshot {
+	if len(labels) > 1 {
+		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	}
+	r.mu.RLock()
+	s := r.series[seriesKey(name, labels)]
+	r.mu.RUnlock()
+	if s == nil || s.kind != histogramKind {
+		return HistogramSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), s.bounds...),
+		Counts: append([]int64(nil), s.counts...),
+		Count:  s.count,
+		Sum:    s.sum,
+	}
+}
+
+// HistogramSnapshot is the exported state of one histogram series.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra final
+	// entry for the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Metric is one series in a Snapshot.
+type Metric struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Help   string  `json:"help,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries the gauge value or the counter value as float64;
+	// Int carries the exact counter value.
+	Value     float64            `json:"value"`
+	Int       int64              `json:"int,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot returns a consistent copy of every series, sorted by name
+// then label set — the deterministic order both expositions share.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Metric, 0, len(keys))
+	for _, k := range keys {
+		s := r.series[k]
+		m := Metric{Name: s.name, Kind: s.kind.String(), Help: r.help[s.name]}
+		if len(s.labels) > 0 {
+			m.Labels = append([]Label(nil), s.labels...)
+		}
+		s.mu.Lock()
+		switch s.kind {
+		case counterKind:
+			m.Int = s.counter
+			m.Value = float64(s.counter)
+		case gaugeKind:
+			m.Value = s.gauge
+		case histogramKind:
+			m.Histogram = &HistogramSnapshot{
+				Bounds: append([]float64(nil), s.bounds...),
+				Counts: append([]int64(nil), s.counts...),
+				Count:  s.count,
+				Sum:    s.sum,
+			}
+			m.Value = s.sum
+		}
+		s.mu.Unlock()
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	return out
+}

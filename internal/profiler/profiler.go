@@ -113,6 +113,20 @@ func (o *Occupancy) Clone() *Occupancy {
 	return c
 }
 
+// Mean returns the time-weighted mean reservation Σ oc_u·T_u / Σ T_u —
+// how loaded the planner left the PCIe link across the iteration.
+func (o *Occupancy) Mean() float64 {
+	total := o.prof.Total()
+	if total <= 0 {
+		return 0
+	}
+	var s float64
+	for u, oc := range o.oc {
+		s += oc * o.prof.T[u]
+	}
+	return s / total
+}
+
 func (o *Occupancy) rebuild() {
 	if !o.dirty {
 		return

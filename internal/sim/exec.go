@@ -14,6 +14,12 @@ import (
 // It returns an ErrOOM-wrapped error when the plan does not fit the
 // device — the configuration "cannot train".
 func (s *Simulator) Run() (Result, error) {
+	res, err := s.run()
+	s.observe(err)
+	return res, err
+}
+
+func (s *Simulator) run() (Result, error) {
 	s.reset()
 	if err := s.stageResidents(); err != nil {
 		return s.res, err
@@ -168,6 +174,7 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 			cost := 2 * float64(moved) / s.Dev.MemBandwidth // read + write
 			s.tc += cost
 			at += cost
+			s.res.CompactTime += cost
 			s.res.Compactions++
 			s.compactions++
 			s.res.MovedBytes += moved
@@ -203,6 +210,7 @@ func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool
 			s.res.Timeline = append(s.res.Timeline, TimelinePoint{
 				Name: "swapout." + t.Name, Start: start, End: s.td,
 				MemUsed: s.pool.InUse(), Stream: "d2h",
+				Bytes: t.Bytes(), Tensor: t.Name, FragBytes: s.fragBytes(),
 			})
 		}
 	}
@@ -235,6 +243,7 @@ func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
 		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
 			Name: "swapin." + t.Name, Start: start, End: s.th,
 			MemUsed: s.pool.InUse(), Stream: "h2d",
+			Bytes: t.Bytes(), Tensor: t.Name, FragBytes: s.fragBytes(),
 		})
 	}
 	return nil
@@ -287,6 +296,7 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 			ready = r
 		}
 	}
+	readyIn := ready
 
 	var wsBlock *memorypool.Block
 	if op.Workspace > 0 {
@@ -311,6 +321,7 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 	if ready > start {
 		start = ready
 	}
+	s.chargeStall(start, readyIn)
 	dur := s.opDuration(op)
 	end := start + dur
 	s.tc = end
@@ -335,10 +346,31 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 
 	if s.Opts.CollectTimeline {
 		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
-			OpIndex: i, Name: op.Name, Start: start, End: end, MemUsed: s.pool.InUse(),
+			OpIndex: i, Name: op.Name, Start: start, End: end,
+			MemUsed: s.pool.InUse(), FragBytes: s.fragBytes(),
 		})
 	}
 	return nil
+}
+
+// chargeStall attributes a compute-stream wait (start > s.tc, computed
+// before s.tc advances) to its cause: the part up to readyIn is input
+// readiness (swap-ins and regenerations completing), the rest is
+// memory availability (pool allocation waiting on in-flight frees).
+func (s *Simulator) chargeStall(start, readyIn float64) {
+	stall := start - s.tc
+	if stall <= 0 {
+		return
+	}
+	in := readyIn - s.tc
+	if in < 0 {
+		in = 0
+	}
+	if in > stall {
+		in = stall
+	}
+	s.res.InputStallTime += in
+	s.res.AllocStallTime += stall - in
 }
 
 // skipInput reports inputs that never materialize on device: optimizer

@@ -57,6 +57,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			ready = r
 		}
 	}
+	readyIn := ready
 
 	// Carve evict-as-consumed inputs in place.
 	type carvedInput struct {
@@ -229,6 +230,17 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		if kready > start {
 			start = kready
 		}
+		if k == 0 {
+			s.chargeStall(start, readyIn)
+		} else if st := start - s.tc; st > 0 {
+			// Later micro-parts wait on the streaming restore (when one
+			// is active) or on pool memory.
+			if len(microSet) > 0 {
+				s.res.InputStallTime += st
+			} else {
+				s.res.AllocStallTime += st
+			}
+		}
 		end := start + perPart
 		s.tc = end
 		s.res.ComputeTime += perPart
@@ -310,6 +322,9 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		if err != nil {
 			return fmt.Errorf("merging %s: %w", out.Name, err)
 		}
+		if r > s.tc {
+			s.res.AllocStallTime += r - s.tc
+		}
 		start := s.tc
 		if r > start {
 			start = r
@@ -335,7 +350,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	if s.Opts.CollectTimeline {
 		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
 			OpIndex: i, Name: op.Name + fmt.Sprintf("[split %d]", pn),
-			Start: ready, End: s.tc, MemUsed: s.pool.InUse(),
+			Start: ready, End: s.tc, MemUsed: s.pool.InUse(), FragBytes: s.fragBytes(),
 		})
 	}
 	return nil

@@ -1,0 +1,52 @@
+package sim
+
+import "tsplit/internal/obs"
+
+// fragBytes samples external fragmentation: free memory that is not
+// part of the largest free extent, i.e. space a single allocation of
+// that size could not use without compaction.
+func (s *Simulator) fragBytes() int64 {
+	st := s.pool.Stats()
+	f := st.Capacity - st.InUse - st.LargestFree
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// usec converts stream seconds to an integer microsecond counter
+// increment (counters are exact int64; durations are recorded as
+// microseconds to keep that exactness).
+func usec(seconds float64) int64 { return int64(seconds * 1e6) }
+
+// observe emits the run's metrics to the configured Recorder. It runs
+// once per Run(), after the simulation completes; the simulation loop
+// itself never touches the Recorder, so a nil Obs costs nothing.
+func (s *Simulator) observe(err error) {
+	rec := s.Opts.Obs
+	if rec == nil {
+		return
+	}
+	if err != nil {
+		rec.Add("tsplit_sim_failures_total", 1)
+		return
+	}
+	r := s.res
+	rec.Add("tsplit_sim_runs_total", 1)
+	rec.Observe("tsplit_sim_iteration_seconds", r.Time)
+	rec.Add("tsplit_sim_stream_busy_microseconds_total", usec(r.ComputeTime), obs.L("stream", "compute"))
+	rec.Add("tsplit_sim_stream_busy_microseconds_total", usec(r.D2HBusy), obs.L("stream", "d2h"))
+	rec.Add("tsplit_sim_stream_busy_microseconds_total", usec(r.H2DBusy), obs.L("stream", "h2d"))
+	rec.Add("tsplit_sim_stall_microseconds_total", usec(r.InputStallTime), obs.L("cause", "input"))
+	rec.Add("tsplit_sim_stall_microseconds_total", usec(r.AllocStallTime), obs.L("cause", "alloc"))
+	rec.Add("tsplit_sim_stall_microseconds_total", usec(r.CompactTime), obs.L("cause", "compact"))
+	rec.Add("tsplit_sim_stall_microseconds_total", usec(r.RecomputeTime), obs.L("cause", "recompute"))
+	rec.Add("tsplit_sim_swap_bytes_total", r.SwapOutBytes, obs.L("dir", "out"))
+	rec.Add("tsplit_sim_swap_bytes_total", r.SwapInBytes, obs.L("dir", "in"))
+	rec.Add("tsplit_sim_recomputed_ops_total", int64(r.RecomputedOps))
+	rec.Add("tsplit_sim_compactions_total", int64(r.Compactions))
+	rec.Add("tsplit_sim_moved_bytes_total", r.MovedBytes)
+	rec.Set("tsplit_sim_peak_bytes", float64(r.PeakBytes))
+	rec.Set("tsplit_sim_pcie_utilization", r.PCIeUtilization)
+	rec.Set("tsplit_sim_pool_fragmentation_bytes", float64(s.fragBytes()))
+}

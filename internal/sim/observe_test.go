@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"tsplit/internal/models"
+	"tsplit/internal/obs"
+)
+
+// TestSimMetrics checks the metrics a Run emits against the Result it
+// returns.
+func TestSimMetrics(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := b.baseline(t, "vdnn-all")
+	reg := obs.NewRegistry()
+	r := b.run(t, plan, Options{Obs: reg})
+
+	if got := reg.Counter("tsplit_sim_runs_total"); got != 1 {
+		t.Fatalf("runs_total = %d", got)
+	}
+	if got := reg.Counter("tsplit_sim_swap_bytes_total", obs.L("dir", "out")); got != r.SwapOutBytes {
+		t.Fatalf("swap_bytes_total{out} %d != result %d", got, r.SwapOutBytes)
+	}
+	if got := reg.Counter("tsplit_sim_swap_bytes_total", obs.L("dir", "in")); got != r.SwapInBytes {
+		t.Fatalf("swap_bytes_total{in} %d != result %d", got, r.SwapInBytes)
+	}
+	if got := reg.Counter("tsplit_sim_stream_busy_microseconds_total", obs.L("stream", "d2h")); got != usec(r.D2HBusy) {
+		t.Fatalf("stream_busy{d2h} %d != %d", got, usec(r.D2HBusy))
+	}
+	if got := reg.Counter("tsplit_sim_stream_busy_microseconds_total", obs.L("stream", "compute")); got <= 0 {
+		t.Fatal("compute busy time not recorded")
+	}
+	if got := reg.Gauge("tsplit_sim_peak_bytes"); got != float64(r.PeakBytes) {
+		t.Fatalf("peak_bytes gauge %g != result %d", got, r.PeakBytes)
+	}
+}
+
+// TestSimStallBreakdown pins that the per-cause stall attribution stays
+// within the total stall: each component is non-negative and their sum
+// does not exceed StallTime (which also carries costs the breakdown
+// does not itemize, like merge copies).
+func TestSimStallBreakdown(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := b.baseline(t, "vdnn-all")
+	r := b.run(t, plan, Options{})
+	if r.InputStallTime < 0 || r.AllocStallTime < 0 || r.CompactTime < 0 {
+		t.Fatalf("negative stall component: %+v", r)
+	}
+	sum := r.InputStallTime + r.AllocStallTime + r.CompactTime + r.RecomputeTime
+	if sum > r.StallTime+1e-9 {
+		t.Fatalf("stall breakdown %g exceeds total stall %g", sum, r.StallTime)
+	}
+	// A vDNN-all plan swaps every feature map; something must stall.
+	if r.StallTime > 0 && r.InputStallTime == 0 && r.AllocStallTime == 0 {
+		t.Fatal("stalls occurred but none were attributed")
+	}
+}
+
+// TestSimFailureMetrics pins the OOM counter path.
+func TestSimFailureMetrics(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 64})
+	plan := b.baseline(t, "base")
+	reg := obs.NewRegistry()
+	_, err := New(b.g, b.sched, b.lv, plan, b.dev, Options{Capacity: 1 << 24, Obs: reg}).Run()
+	if err == nil {
+		t.Fatal("expected OOM under a 16 MiB capacity")
+	}
+	if got := reg.Counter("tsplit_sim_failures_total"); got != 1 {
+		t.Fatalf("failures_total = %d", got)
+	}
+	if got := reg.Counter("tsplit_sim_runs_total"); got != 0 {
+		t.Fatalf("failed run counted as success: %d", got)
+	}
+}

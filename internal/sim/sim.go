@@ -26,6 +26,7 @@ import (
 	"tsplit/internal/device"
 	"tsplit/internal/graph"
 	"tsplit/internal/memorypool"
+	"tsplit/internal/obs"
 )
 
 // RecomputeStrategy selects how regenerated forward subgraphs manage
@@ -70,6 +71,10 @@ type Options struct {
 	PoolStrategy memorypool.Strategy
 	// CollectTimeline records a per-op memory/time trace (Fig. 2(a)).
 	CollectTimeline bool
+	// Obs receives runtime metrics (stream busy time, stall breakdown,
+	// swap volumes, pool health). Nil disables all observation at zero
+	// cost.
+	Obs obs.Recorder
 }
 
 // Result is the outcome of simulating one training iteration.
@@ -82,6 +87,16 @@ type Result struct {
 	// StallTime is Time minus the no-memory-management compute time —
 	// the ΔT the plan actually cost, including recompute work.
 	StallTime float64
+	// InputStallTime / AllocStallTime / CompactTime break the stall
+	// down by cause: compute waiting on input readiness (swap-in or
+	// regeneration completing), compute waiting on pool memory
+	// (in-flight swap-out frees), and defragmentation copy time. The
+	// attribution is per-operator and approximate — overlapping causes
+	// are charged to the dominant one — so the three need not sum to
+	// StallTime (which also contains recompute work).
+	InputStallTime float64
+	AllocStallTime float64
+	CompactTime    float64
 	// D2HBusy and H2DBusy are the copy-stream busy times.
 	D2HBusy, H2DBusy float64
 	// PCIeUtilization is the mean utilization of the two directions
@@ -113,6 +128,15 @@ type TimelinePoint struct {
 	MemUsed int64
 	// Stream identifies the lane: "compute" (default), "d2h", "h2d".
 	Stream string
+	// Bytes is the transfer payload for copy-stream events (0 for
+	// compute slices) and Tensor the tensor moved — the Chrome trace
+	// derives PCIe bandwidth counters and swap-out→swap-in flow arrows
+	// from them.
+	Bytes  int64
+	Tensor string
+	// FragBytes samples external fragmentation (free memory not part of
+	// the largest free extent) when the event was recorded.
+	FragBytes int64
 }
 
 // Throughput converts a result to samples/second for a batch size.

@@ -2,20 +2,25 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
 
-// chromeEvent is one complete event ("X" phase) of the Chrome/Perfetto
-// trace format (catapult trace_event).
+// chromeEvent is one event of the Chrome/Perfetto trace format
+// (catapult trace_event): "X" complete slices, "M" metadata, "C"
+// counter samples, and "s"/"f" flow arrows.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow-event binding
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the JSON-object trace container.
@@ -24,28 +29,160 @@ type chromeTrace struct {
 	Metadata    map[string]string `json:"metadata,omitempty"`
 }
 
-// streamTID maps stream lanes to stable thread ids so the compute,
-// D2H and H2D streams render as three rows.
-var streamTID = map[string]int{"": 1, "compute": 1, "d2h": 2, "h2d": 3}
+// Reserved thread ids for the three simulator streams; further lanes
+// (unknown stream names) are allocated from firstDynamicTID upward in
+// order of first appearance, so the mapping is stable for a given
+// timeline.
+const (
+	tidCompute      = 1
+	tidD2H          = 2
+	tidH2D          = 3
+	firstDynamicTID = 4
+	tracePID        = 1
+)
+
+// counter-track thread ids (Perfetto renders counters per track name,
+// the tid only groups them under the process).
+const tidCounters = 100
+
+// streamTIDs returns the lane mapping for a timeline: the three known
+// streams on their reserved rows, any other stream name on a freshly
+// allocated row.
+func streamTIDs(timeline []TimelinePoint) map[string]int {
+	tids := map[string]int{"": tidCompute, "compute": tidCompute, "d2h": tidD2H, "h2d": tidH2D}
+	next := firstDynamicTID
+	for _, p := range timeline {
+		if _, ok := tids[p.Stream]; !ok {
+			tids[p.Stream] = next
+			next++
+		}
+	}
+	return tids
+}
 
 // WriteChromeTrace exports a timeline (Options.CollectTimeline) in
-// Chrome tracing format: open in chrome://tracing or Perfetto to see
-// the compute stream overlapping the two copy streams — the execution
-// picture behind the paper's PCIe-utilization claims.
+// Chrome tracing format: open in chrome://tracing or https://ui.perfetto.dev
+// to see the compute stream overlapping the two copy streams — the
+// execution picture behind the paper's PCIe-utilization claims.
+//
+// Beyond the "X" slices the trace carries:
+//   - "M" metadata naming the process and every stream lane;
+//   - "C" counter tracks for device memory in use, external
+//     fragmentation, and per-direction PCIe bandwidth;
+//   - "s"/"f" flow arrows linking each tensor's swap-out to the
+//     swap-in that returns it;
+//   - args (bytes, tensor, memory) on every slice.
+//
+// Event order is fully deterministic: events are sorted by
+// (timestamp, thread, name) with a stable sort, so identical timelines
+// serialize identically.
 func WriteChromeTrace(w io.Writer, timeline []TimelinePoint) error {
+	tids := streamTIDs(timeline)
 	tr := chromeTrace{Metadata: map[string]string{"tool": "tsplit sim"}}
+
+	// Legend: process and per-lane thread names.
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "tsplit sim"},
+	})
+	laneNames := make([]string, 0, len(tids))
+	seenTID := map[int]bool{}
+	for name, tid := range tids {
+		if name == "" || seenTID[tid] {
+			continue
+		}
+		seenTID[tid] = true
+		laneNames = append(laneNames, name)
+	}
+	sort.Slice(laneNames, func(i, j int) bool { return tids[laneNames[i]] < tids[laneNames[j]] })
+	for _, name := range laneNames {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tids[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	counter := func(ts float64, name string, args map[string]any) chromeEvent {
+		return chromeEvent{Name: name, Cat: "memory", Ph: "C", TS: ts, PID: tracePID, TID: tidCounters, Args: args}
+	}
+
+	// Flow pairing: each swap-in binds to the latest preceding swap-out
+	// of the same tensor; only complete pairs emit arrows, so every "s"
+	// has a matching "f".
+	type outRef struct {
+		start, end float64
+	}
+	lastOut := map[string]outRef{}
+	flowID := 0
+
 	for _, p := range timeline {
 		cat := p.Stream
 		if cat == "" {
 			cat = "compute"
 		}
+		args := map[string]any{"mem_used_bytes": p.MemUsed, "frag_bytes": p.FragBytes}
+		if p.Bytes > 0 {
+			args["bytes"] = p.Bytes
+		}
+		if p.Tensor != "" {
+			args["tensor"] = p.Tensor
+		}
+		ts, dur := p.Start*1e6, (p.End-p.Start)*1e6
+		tid := tids[p.Stream]
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: p.Name, Cat: cat, Ph: "X",
-			TS: p.Start * 1e6, Dur: (p.End - p.Start) * 1e6,
-			PID: 1, TID: streamTID[p.Stream],
+			TS: ts, Dur: dur, PID: tracePID, TID: tid, Args: args,
 		})
+
+		// Counter samples at the slice start.
+		tr.TraceEvents = append(tr.TraceEvents,
+			counter(ts, "device memory", map[string]any{"bytes": p.MemUsed}),
+			counter(ts, "fragmentation", map[string]any{"bytes": p.FragBytes}),
+		)
+		if p.Bytes > 0 && p.End > p.Start && (p.Stream == "d2h" || p.Stream == "h2d") {
+			bw := float64(p.Bytes) / (p.End - p.Start)
+			name := "pcie " + p.Stream + " B/s"
+			tr.TraceEvents = append(tr.TraceEvents,
+				counter(ts, name, map[string]any{"value": bw}),
+				counter(p.End*1e6, name, map[string]any{"value": 0.0}),
+			)
+		}
+
+		// Flow bookkeeping.
+		if p.Tensor != "" {
+			switch p.Stream {
+			case "d2h":
+				lastOut[p.Tensor] = outRef{start: p.Start, end: p.End}
+			case "h2d":
+				if out, ok := lastOut[p.Tensor]; ok && out.end <= p.Start+1e-12 {
+					id := fmt.Sprintf("swap-%d", flowID)
+					flowID++
+					// "s" binds inside the swap-out slice, "f" (bp:"e") to
+					// the swap-in slice that encloses its timestamp.
+					tr.TraceEvents = append(tr.TraceEvents,
+						chromeEvent{Name: "swap", Cat: "swap", Ph: "s", ID: id,
+							TS: out.start * 1e6, PID: tracePID, TID: tidD2H,
+							Args: map[string]any{"tensor": p.Tensor}},
+						chromeEvent{Name: "swap", Cat: "swap", Ph: "f", BP: "e", ID: id,
+							TS: ts, PID: tracePID, TID: tids[p.Stream],
+							Args: map[string]any{"tensor": p.Tensor}},
+					)
+					delete(lastOut, p.Tensor)
+				}
+			}
+		}
 	}
-	sort.Slice(tr.TraceEvents, func(i, j int) bool { return tr.TraceEvents[i].TS < tr.TraceEvents[j].TS })
+
+	sort.SliceStable(tr.TraceEvents, func(i, j int) bool {
+		a, b := tr.TraceEvents[i], tr.TraceEvents[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
 }

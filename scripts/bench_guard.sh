@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench_guard.sh — planner hot-path regression guard.
+#
+# Runs the Plan() benchmarks (with the default nil Recorder, i.e. the
+# observability no-op path) and fails if any model's allocs/op regresses
+# more than 10% against the recorded baseline in bench_results.txt.
+# The baseline is the LAST occurrence of each benchmark name in that
+# file, so appending a fresh measurement section updates the bar.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=bench_results.txt
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+GOMAXPROCS=1 go test -run '^$' \
+    -bench 'BenchmarkPlannerPlan_(VGG16|ResNet50|BERTLarge)$' \
+    -benchtime 5x . >"$OUT" 2>&1 || { cat "$OUT"; exit 1; }
+
+awk '
+    function allocs(    i) { for (i = 2; i <= NF; i++) if ($i == "allocs/op") return $(i-1); return -1 }
+    FNR == NR {
+        if ($1 ~ /^BenchmarkPlannerPlan_/ && allocs() >= 0) base[$1] = allocs()
+        next
+    }
+    $1 ~ /^BenchmarkPlannerPlan_/ {
+        name = $1; sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+        cur = allocs()
+        if (cur < 0) next
+        seen++
+        if (!(name in base)) {
+            printf "bench-guard: no baseline for %s in %s\n", name, ARGV[1]
+            bad = 1; next
+        }
+        if (cur > base[name] * 1.10) {
+            printf "bench-guard: FAIL %-32s %6d allocs/op > baseline %d +10%%\n", name, cur, base[name]
+            bad = 1
+        } else {
+            printf "bench-guard: ok   %-32s %6d allocs/op (baseline %d)\n", name, cur, base[name]
+        }
+    }
+    END {
+        if (seen < 3) { printf "bench-guard: only %d benchmark results parsed\n", seen; bad = 1 }
+        exit bad
+    }
+' "$BASELINE" "$OUT" || { cat "$OUT"; exit 1; }

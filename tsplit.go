@@ -38,6 +38,7 @@ import (
 	"tsplit/internal/device"
 	"tsplit/internal/graph"
 	"tsplit/internal/models"
+	"tsplit/internal/obs"
 	"tsplit/internal/profiler"
 	"tsplit/internal/sim"
 )
@@ -55,7 +56,24 @@ type (
 	ModelConfig = models.Config
 	// SimResult is the raw runtime measurement set.
 	SimResult = sim.Result
+	// Recorder receives metrics from the planner and the runtime. A nil
+	// Recorder is valid everywhere and costs nothing.
+	Recorder = obs.Recorder
+	// Registry is the built-in Recorder: thread-safe counters, gauges,
+	// and histograms with Prometheus text and JSON exposition.
+	Registry = obs.Registry
+	// Label is one metric label (use tsplit.L to build them).
+	Label = obs.Label
+	// PlanReport is the planner's structured introspection record: one
+	// entry per greedy iteration plus plan-level aggregates.
+	PlanReport = core.PlanReport
 )
+
+// NewRegistry returns an empty metrics Registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// L builds a metric label.
+func L(key, value string) Label { return obs.L(key, value) }
 
 // Built-in device profiles (paper Sec. VI-A plus the Fig. 1 GPUs).
 var (
@@ -80,6 +98,8 @@ type PlanOptions struct {
 	DisableSplit bool
 	// PNums overrides the split-count search space.
 	PNums []int
+	// Observe receives planner metrics (nil = none).
+	Observe Recorder
 }
 
 // Workload is a model prepared for planning and execution on a device:
@@ -131,8 +151,26 @@ func (w *Workload) Plan(opts PlanOptions) (*Plan, error) {
 		Capacity:     opts.CapacityBytes,
 		DisableSplit: opts.DisableSplit,
 		PNums:        opts.PNums,
+		Obs:          opts.Observe,
 	})
 	return pl.Plan()
+}
+
+// PlanWithReport runs the planner with introspection enabled and
+// returns the plan together with its per-iteration decision report.
+func (w *Workload) PlanWithReport(opts PlanOptions) (*Plan, *PlanReport, error) {
+	pl := core.NewPlanner(w.G, w.Sched, w.Lv, w.Prof, w.Dev, core.Options{
+		Capacity:      opts.CapacityBytes,
+		DisableSplit:  opts.DisableSplit,
+		PNums:         opts.PNums,
+		Obs:           opts.Observe,
+		CollectReport: true,
+	})
+	plan, err := pl.Plan()
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, pl.Report(), nil
 }
 
 // PlanBaseline produces a baseline policy's plan ("base", "vdnn-conv",
@@ -165,13 +203,25 @@ type Report struct {
 	Raw SimResult
 }
 
+// RunOption tunes one simulated run.
+type RunOption func(*sim.Options)
+
+// Observe streams the run's metrics into r.
+func Observe(r Recorder) RunOption { return func(o *sim.Options) { o.Obs = r } }
+
+// WithTimeline records the per-event execution timeline in the run's
+// Raw result, for export with WriteTrace.
+func WithTimeline() RunOption { return func(o *sim.Options) { o.CollectTimeline = true } }
+
 // Run simulates one training iteration under the plan and returns the
 // measurements, or an error when the plan does not fit the device
 // (OOM — the configuration cannot train).
-func (w *Workload) Run(plan *Plan) (Report, error) {
-	res, err := sim.New(w.G, w.Sched, w.Lv, plan, w.Dev, sim.Options{
-		Recompute: sim.LRURecompute,
-	}).Run()
+func (w *Workload) Run(plan *Plan, opts ...RunOption) (Report, error) {
+	so := sim.Options{Recompute: sim.LRURecompute}
+	for _, o := range opts {
+		o(&so)
+	}
+	res, err := sim.New(w.G, w.Sched, w.Lv, plan, w.Dev, so).Run()
 	if err != nil {
 		return Report{}, err
 	}
@@ -208,6 +258,7 @@ func (w *Workload) AutoPlan(opts PlanOptions) (*Plan, Report, error) {
 			DisableSplit:         opts.DisableSplit,
 			PNums:                opts.PNums,
 			FragmentationReserve: reserve,
+			Obs:                  opts.Observe,
 		})
 		plan, err := pl.Plan()
 		if err != nil {
@@ -234,3 +285,13 @@ func (w *Workload) Augment(plan *Plan) (*core.Augmented, error) {
 // ExportPlanJSON serializes a plan for framework integrations (the
 // paper's Sec. VI-D conversion path).
 func ExportPlanJSON(w io.Writer, plan *Plan) error { return core.ExportJSON(w, plan) }
+
+// WriteTrace exports a run's timeline (collect it with WithTimeline)
+// in Chrome tracing format for chrome://tracing or
+// https://ui.perfetto.dev.
+func WriteTrace(w io.Writer, res SimResult) error {
+	if len(res.Timeline) == 0 {
+		return fmt.Errorf("tsplit: result has no timeline (run with tsplit.WithTimeline())")
+	}
+	return sim.WriteChromeTrace(w, res.Timeline)
+}

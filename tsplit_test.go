@@ -1,6 +1,8 @@
 package tsplit_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -108,6 +110,94 @@ func TestAugmentExport(t *testing.T) {
 	}
 	if !strings.Contains(plan.Describe(), "MiB") {
 		t.Fatal("describe output unexpected")
+	}
+}
+
+// TestObservabilitySurface exercises the full public observability
+// pipeline — PlanWithReport, Observe, WithTimeline, WriteTrace,
+// Prometheus exposition — on the two acceptance models.
+func TestObservabilitySurface(t *testing.T) {
+	for _, tc := range []struct {
+		model string
+		batch int
+	}{
+		{"vgg16", 64},
+		{"bert-large", 8},
+	} {
+		w, err := tsplit.Load(tc.model, tsplit.ModelConfig{BatchSize: tc.batch}, tsplit.TitanRTX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := tsplit.NewRegistry()
+		cap := w.BaselinePeakBytes() * 65 / 100
+		plan, report, err := w.PlanWithReport(tsplit.PlanOptions{CapacityBytes: cap, Observe: reg})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		if report == nil || len(report.Decisions) == 0 {
+			t.Fatalf("%s: empty plan report under a 65%% budget", tc.model)
+		}
+		if got := reg.Counter("tsplit_planner_plans_total"); got != 1 {
+			t.Fatalf("%s: plans_total = %d", tc.model, got)
+		}
+
+		rep, err := w.Run(plan, tsplit.Observe(reg), tsplit.WithTimeline())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		if got := reg.Counter("tsplit_sim_runs_total"); got != 1 {
+			t.Fatalf("%s: runs_total = %d", tc.model, got)
+		}
+		if len(rep.Raw.Timeline) == 0 {
+			t.Fatalf("%s: WithTimeline collected nothing", tc.model)
+		}
+
+		var trace bytes.Buffer
+		if err := tsplit.WriteTrace(&trace, rep.Raw); err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(trace.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", tc.model, err)
+		}
+		if _, ok := decoded["traceEvents"]; !ok {
+			t.Fatalf("%s: trace missing traceEvents", tc.model)
+		}
+
+		var prom bytes.Buffer
+		if err := reg.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"tsplit_planner_plans_total", "tsplit_sim_swap_bytes_total"} {
+			if !strings.Contains(prom.String(), want) {
+				t.Fatalf("%s: exposition missing %s", tc.model, want)
+			}
+		}
+
+		var rj bytes.Buffer
+		if err := report.WriteJSON(&rj); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(rj.Bytes()) {
+			t.Fatalf("%s: plan report is not valid JSON", tc.model)
+		}
+	}
+}
+
+// TestWriteTraceWithoutTimeline pins the guidance error.
+func TestWriteTraceWithoutTimeline(t *testing.T) {
+	w, _ := tsplit.Load("vgg16", tsplit.ModelConfig{BatchSize: 16}, tsplit.TitanRTX)
+	plan, err := w.Plan(tsplit.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tsplit.WriteTrace(&buf, rep.Raw); err == nil {
+		t.Fatal("WriteTrace must fail without a collected timeline")
 	}
 }
 
