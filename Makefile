@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt build test race bench bench-guard ci
+.PHONY: all vet fmt lint build test race bench bench-guard verify-plans ci
 
 all: ci
 
@@ -12,6 +12,12 @@ fmt:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Determinism lint suite (maporder, clockdet, floateq, errdrop) over
+# every package in the module. Zero findings is the bar; suppress a
+# justified site with //lint:allow <rule> <reason>.
+lint:
+	$(GO) run ./cmd/tsplit-lint
 
 build:
 	$(GO) build ./...
@@ -33,4 +39,9 @@ bench:
 bench-guard:
 	sh scripts/bench_guard.sh
 
-ci: vet fmt build race bench bench-guard
+# Static plan-invariant verification (core.Verify) of the planner's and
+# every applicable baseline's plans across the evaluation models.
+verify-plans:
+	$(GO) test -run 'TestVerifyPlanAllModels' -count=1 .
+
+ci: vet fmt lint build race bench bench-guard verify-plans

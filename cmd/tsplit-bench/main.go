@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"tsplit/internal/device"
 	"tsplit/internal/experiments"
@@ -64,13 +63,13 @@ func main() {
 		if !all && !want[id] {
 			return
 		}
-		start := time.Now()
+		start := obs.Wall()
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			return
 		}
-		fmt.Printf("===== %s (%.1fs) =====\n%s\n", id, time.Since(start).Seconds(), out)
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", id, obs.Wall().Sub(start).Seconds(), out)
 	}
 
 	run("fig1", func() (string, error) {

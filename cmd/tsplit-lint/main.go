@@ -1,0 +1,71 @@
+// Command tsplit-lint runs the project's determinism lint suite over
+// the module: maporder (unsorted map iteration in determinism-critical
+// packages), clockdet (wall clock / ambient randomness outside the
+// injectable-clock allowlist), floateq (exact float comparison in
+// planner scoring), and errdrop (silently discarded errors).
+//
+//	tsplit-lint                   # lint the module rooted at .
+//	tsplit-lint -json             # machine-readable findings
+//	tsplit-lint -rules maporder   # run a subset of rules
+//	tsplit-lint -C path/to/module
+//
+// The exit status is 1 when findings remain, 2 on usage or load
+// errors. Suppress an intentional pattern with a
+// `//lint:allow <rule> <reason>` comment (file-wide when placed above
+// the package clause, otherwise scoped to the next line).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tsplit/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root directory (must contain go.mod)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all rules)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod.Pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "tsplit-lint: %d finding(s) in %d package(s)\n", len(diags), len(mod.Pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 	augment := flag.Bool("augment", false, "materialize and summarize the augmented graph")
 	jsonPath := flag.String("json", "", "export the plan as JSON to this file (- for stdout)")
 	dotPath := flag.String("dot", "", "export the augmented graph as Graphviz DOT to this file")
+	verify := flag.Bool("verify", false, "check the plan against the safety invariants and fail on violations")
 	verbose := flag.Bool("v", false, "print every per-tensor decision")
 	flag.Parse()
 
@@ -79,6 +80,17 @@ func main() {
 	}
 	fmt.Printf("\nmeasured: %.1f samples/s (%.1f%% overhead), peak %.2f GiB, PCIe %.0f%%, %d recomputed ops\n",
 		rep.Throughput, rep.Overhead*100, rep.PeakGiB, rep.PCIeUtilization*100, rep.RecomputedOps)
+
+	if *verify {
+		if vs := w.VerifyPlan(plan); len(vs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nplan verification FAILED: %d violation(s)\n", len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nplan verification passed: all invariants hold")
+	}
 
 	if *jsonPath != "" {
 		out := os.Stdout

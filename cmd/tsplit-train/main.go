@@ -71,7 +71,7 @@ func writeFile(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		_ = f.Close() // the fn error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -40,6 +40,16 @@ func (tb *testbed) plan(t *testing.T, opts Options) *Plan {
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}
+	// Every plan any planner test produces must also satisfy the static
+	// safety invariants — the verifier is an independent oracle, so a
+	// planner bug and a verifier bug cannot cancel out silently.
+	ceiling := opts.Capacity
+	if ceiling == 0 {
+		ceiling = tb.dev.MemBytes
+	}
+	for _, v := range VerifyAt(p, tb.g, tb.sched, tb.lv, ceiling) {
+		t.Errorf("plan invariant: %s", v)
+	}
 	return p
 }
 

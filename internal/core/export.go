@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"tsplit/internal/graph"
 )
@@ -95,9 +96,10 @@ func ExportJSON(w io.Writer, p *Plan) error {
 // swap-in green, split/merge blue, recompute orange), control edges
 // are dashed.
 func (a *Augmented) DOT(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "digraph tsplit {\n  rankdir=LR;\n  node [shape=box, fontsize=9];"); err != nil {
-		return err
-	}
+	// Render into a buffer first: strings.Builder writes cannot fail,
+	// so the single flush below is the only error site.
+	var b strings.Builder
+	fmt.Fprintln(&b, "digraph tsplit {\n  rankdir=LR;\n  node [shape=box, fontsize=9];")
 	color := func(k graph.OpKind) string {
 		switch k {
 		case graph.SwapOut:
@@ -113,20 +115,21 @@ func (a *Augmented) DOT(w io.Writer) error {
 		}
 	}
 	for _, op := range a.G.Ops {
-		fmt.Fprintf(w, "  op%d [label=%q, style=filled, fillcolor=%q];\n", op.ID, op.Name, color(op.Kind))
+		fmt.Fprintf(&b, "  op%d [label=%q, style=filled, fillcolor=%q];\n", op.ID, op.Name, color(op.Kind))
 	}
 	for _, op := range a.G.Ops {
 		seen := map[int]bool{}
 		for _, in := range op.Inputs {
 			if p := in.Producer; p != nil && !seen[p.ID] {
 				seen[p.ID] = true
-				fmt.Fprintf(w, "  op%d -> op%d [label=%q, fontsize=7];\n", p.ID, op.ID, in.Name)
+				fmt.Fprintf(&b, "  op%d -> op%d [label=%q, fontsize=7];\n", p.ID, op.ID, in.Name)
 			}
 		}
 		for _, dep := range op.ControlDeps {
-			fmt.Fprintf(w, "  op%d -> op%d [style=dashed, color=gray];\n", dep.ID, op.ID)
+			fmt.Fprintf(&b, "  op%d -> op%d [style=dashed, color=gray];\n", dep.ID, op.ID)
 		}
 	}
-	_, err := fmt.Fprintln(w, "}")
+	fmt.Fprintln(&b, "}")
+	_, err := io.WriteString(w, b.String())
 	return err
 }

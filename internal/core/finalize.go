@@ -26,8 +26,13 @@ func FinalizeWindows(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, 
 		ids = append(ids, id)
 	}
 	// Process in production order so swap-out bandwidth is booked in
-	// the order the runtime will issue the copies.
-	sort.Slice(ids, func(a, b int) bool {
+	// the order the runtime will issue the copies. Sort by ID first and
+	// keep the production-order sort stable: multi-output ops produce
+	// several tensors at the same FirstUse, and an unstable sort over
+	// map-ordered input would book their bandwidth in a different order
+	// each run.
+	sort.Ints(ids)
+	sort.SliceStable(ids, func(a, b int) bool {
 		ta, tb := plan.Tensors[ids[a]].Tensor, plan.Tensors[ids[b]].Tensor
 		return lv.FirstUse[ta] < lv.FirstUse[tb]
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"tsplit/internal/graph"
 	"tsplit/internal/tensor"
@@ -142,6 +143,7 @@ func (ct *chainTracker) markDirty(owner int) { ct.dirty[owner] = struct{}{} }
 
 // noteChanged marks every chain that queried tensor id as dirty.
 func (ct *chainTracker) noteChanged(id int) {
+	//lint:allow maporder marking members of a set is commutative; no order-dependent state
 	for owner, ds := range ct.deps {
 		if _, ok := ds[id]; ok {
 			ct.dirty[owner] = struct{}{}
@@ -293,6 +295,10 @@ func (pl *Planner) refreshChainsDirty() int {
 	for id := range pl.ct.dirty {
 		owners = append(owners, id)
 	}
+	// Re-derive in ID order: each walk is independent, but curve.update
+	// touches shared state and the obs counters should not depend on
+	// which owner a map handed out first.
+	sort.Ints(owners)
 	rederived := 0
 	for _, id := range owners {
 		delete(pl.ct.dirty, id)

@@ -117,6 +117,8 @@ func TestOptionsWithDefaultsIdempotent(t *testing.T) {
 	tb := newTestbed(t, "vgg16", models.Config{BatchSize: 8})
 	once := Options{}.withDefaults(tb.dev)
 	twice := once.withDefaults(tb.dev)
+	// Func fields (Clock) are never DeepEqual; compare everything else.
+	once.Clock, twice.Clock = nil, nil
 	if !reflect.DeepEqual(once, twice) {
 		t.Fatalf("withDefaults is not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
 	}

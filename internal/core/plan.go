@@ -171,6 +171,7 @@ type Counts struct {
 // Counts summarizes the plan.
 func (p *Plan) Counts() Counts {
 	var c Counts
+	//lint:allow maporder integer tallies are commutative; no order-dependent state
 	for _, tp := range p.Tensors {
 		switch tp.Opt {
 		case Swap:

@@ -71,6 +71,11 @@ type Options struct {
 	// kind, chain-refresh savings, plan latency). Nil disables all
 	// observation; the nil path adds no allocations to Plan().
 	Obs obs.Recorder
+	// Clock supplies the wall clock for the plan-latency metric (nil =
+	// obs.Wall). It is injectable so the clockdet lint rule can keep
+	// time.Now banned from this package: nothing a plan contains may
+	// depend on when it was computed.
+	Clock obs.Clock
 	// CollectReport makes Plan() assemble a PlanReport (per-iteration
 	// decision log), retrievable with Planner.Report().
 	CollectReport bool
@@ -112,6 +117,9 @@ func (o Options) withDefaults(dev device.Device) Options {
 	}
 	if o.SplitLookahead < 0 {
 		o.SplitLookahead = 0
+	}
+	if o.Clock == nil {
+		o.Clock = obs.Wall
 	}
 	return o
 }
@@ -278,7 +286,7 @@ func (pl *Planner) Plan() (*Plan, error) {
 	pl.statIters, pl.statCands, pl.statRederived, pl.statSkipped, pl.nRecompute = 0, 0, 0, 0, 0
 	pl.report = nil
 	if pl.Opts.Obs != nil {
-		pl.statStart = time.Now()
+		pl.statStart = pl.Opts.Clock()
 	}
 	cap := pl.Opts.Capacity
 	if pl.Opts.CollectReport {
@@ -436,7 +444,7 @@ func (pl *Planner) finishObservation(finalPeak int64) {
 	rec.Set("tsplit_planner_predicted_peak_bytes", float64(finalPeak))
 	rec.Set("tsplit_planner_predicted_extra_seconds", pl.extraTime)
 	rec.Set("tsplit_planner_mean_pcie_occupancy", pl.occ.Mean())
-	rec.Observe("tsplit_planner_plan_seconds", time.Since(pl.statStart).Seconds())
+	rec.Observe("tsplit_planner_plan_seconds", pl.Opts.Clock().Sub(pl.statStart).Seconds())
 }
 
 // refreshChains recomputes the transient-memory estimate of every
@@ -446,8 +454,16 @@ func (pl *Planner) finishObservation(finalPeak int64) {
 // refreshChainsDirty (incremental.go) re-derives only affected chains.
 // It returns the number of chains re-derived (here: all of them).
 func (pl *Planner) refreshChains() int {
+	// Each re-derivation is independent, but walk in tensor-ID order so
+	// the reference path touches the plan deterministically (maporder).
+	ids := make([]int, 0, len(pl.plan.Tensors))
+	for id := range pl.plan.Tensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	n := 0
-	for id, tp := range pl.plan.Tensors {
+	for _, id := range ids {
+		tp := pl.plan.Tensors[id]
 		if tp.Opt != Recompute {
 			continue
 		}

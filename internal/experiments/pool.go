@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"tsplit/internal/obs"
 )
@@ -14,6 +13,11 @@ import (
 // the tsplit_experiments_cell_seconds histogram. The Registry is
 // thread-safe, so the parallel sweeps record into it concurrently.
 var Obs obs.Recorder
+
+// Clock times each sweep cell for the cell_seconds histogram. Tests
+// that assert on recorded metrics substitute a fake; everything the
+// sweeps *compute* is independent of it.
+var Clock obs.Clock = obs.Wall
 
 // The experiment sweeps are embarrassingly parallel: every (model,
 // batch, device, policy) cell prepares its own graph, schedule and
@@ -31,9 +35,9 @@ func forEach(n int, fn func(int)) {
 	if rec := Obs; rec != nil {
 		inner := fn
 		fn = func(i int) {
-			start := time.Now()
+			start := Clock()
 			inner(i)
-			rec.Observe("tsplit_experiments_cell_seconds", time.Since(start).Seconds())
+			rec.Observe("tsplit_experiments_cell_seconds", Clock().Sub(start).Seconds())
 			rec.Add("tsplit_experiments_cells_total", 1)
 		}
 	}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ClockDet flags wall-clock reads and ambient randomness: a time.Now
+// (or Since/Until/After/Tick/timer) call, or a math/rand import,
+// anywhere outside the allowlist. Plans, simulator timestamps, and
+// exported artifacts must be pure functions of (graph, schedule,
+// device, options); the only sanctioned wall-clock source is the
+// injectable clock in internal/obs/clock.go, which callers thread
+// through options so tests can substitute a fake.
+var ClockDet = &Analyzer{
+	Name: "clockdet",
+	Doc:  "wall clock (time.Now) or ambient randomness (math/rand) outside the clock allowlist",
+	Run:  runClockDet,
+}
+
+// clockAllowedFiles are module-relative paths where reading the real
+// clock is the point. Keep this list minimal: new entries mean new
+// nondeterminism audits.
+var clockAllowedFiles = []string{
+	"internal/obs/clock.go",
+}
+
+// clockFuncs are the time-package functions that read the wall clock
+// or schedule against it.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runClockDet(p *Pass) {
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if clockFileAllowed(name) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: ambient randomness breaks plan determinism (seed an explicit source in tests, or //lint:allow clockdet)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if clockFuncs[fn.Name()] {
+				p.Reportf(call.Pos(), "time.%s reads the wall clock: thread an obs.Clock through options instead (allowlisted only in internal/obs/clock.go)", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+func clockFileAllowed(file string) bool {
+	norm := strings.ReplaceAll(file, "\\", "/")
+	for _, allowed := range clockAllowedFiles {
+		if strings.HasSuffix(norm, allowed) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements that silently discard an error result.
+// A swallowed error in the planner or runtime turns an invariant
+// violation (OOM, unschedulable graph, failed export) into silent
+// divergence — the verifier can only catch what reaches it. Assigning
+// the error to `_` is treated as an explicit, reviewable
+// acknowledgment and is not flagged, nor are deferred cleanups.
+//
+// Calls that cannot fail in practice are exempt: fmt.Print* to stdout,
+// and any write to strings.Builder / bytes.Buffer (their Write methods
+// are documented to always return a nil error).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "call statement discards an error result",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(call)
+			if t == nil || !resultHasError(t, errType) {
+				return true
+			}
+			if errExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is silently discarded (handle it or assign to _)", calleeName(p, call))
+			return true
+		})
+	}
+}
+
+func resultHasError(t types.Type, errType types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// callee resolves the called function object, when statically known.
+func callee(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := callee(p, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return types.TypeString(recv.Type(), types.RelativeTo(p.Pkg)) + "." + fn.Name()
+		}
+		if fn.Pkg() != nil && fn.Pkg() != p.Pkg {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// errExempt reports whether the call's discarded error is conventional:
+// printing to stdout/stderr, or writing into an in-memory buffer.
+func errExempt(p *Pass, call *ast.CallExpr) bool {
+	fn := callee(p, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return isBufferType(recv.Type())
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		if isBufferType(p.TypeOf(call.Args[0])) {
+			return true
+		}
+		// fmt.Fprintf(os.Stdout, ...) / os.Stderr: same convention as
+		// fmt.Printf.
+		if sel, ok := call.Args[0].(*ast.SelectorExpr); ok {
+			if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBufferType matches strings.Builder and bytes.Buffer (and pointers
+// to them), whose writes never fail.
+func isBufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in the
+// planner (package core). The planner's scores are sums of profiled
+// kernel times whose value depends on accumulation order; the parallel
+// scorer is only byte-equivalent to the serial one because every
+// comparison uses an explicit tolerance window (see Planner.better).
+// An exact float comparison silently reintroduces order sensitivity —
+// compare through a tolerance, or restructure to integers.
+var FloatEq = &Analyzer{
+	Name:     "floateq",
+	Doc:      "exact ==/!= on floating-point operands in planner scoring",
+	Packages: []string{"tsplit/internal/core"},
+	Run:      runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.TypeOf(be.X)) && isFloat(p.TypeOf(be.Y)) {
+				p.Reportf(be.OpPos, "exact %s on floating-point values is order-sensitive: use a tolerance window", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

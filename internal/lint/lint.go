@@ -1,0 +1,242 @@
+// Package lint is a stdlib-only static-analysis engine for the tsplit
+// module, plus the project-specific determinism analyzers that run
+// under cmd/tsplit-lint.
+//
+// TSPLIT's planner is only trustworthy if its output is byte-identical
+// run to run: the simulator's event order, the plan export, and the
+// greedy tie-breaks all assume that no wall-clock reading, map
+// iteration order, or exact floating-point comparison leaks into a
+// decision (PR 1 fixed three such bugs by hand). The analyzers in this
+// package turn those conventions into machine-checked rules:
+//
+//   - maporder: `for range` over a map in a determinism-critical
+//     package (core, sim, experiments, obs) unless the loop only
+//     collects keys that are subsequently sorted, or only deletes.
+//   - clockdet: any time.Now/Since/... call or math/rand import
+//     outside the injectable-clock allowlist (internal/obs/clock.go).
+//   - floateq: == / != between floating-point operands in planner
+//     scoring (package core).
+//   - errdrop: call statements that silently discard an error result.
+//
+// Findings can be suppressed with a `//lint:allow <rule>[ reason]`
+// comment: placed above the package clause it covers the whole file,
+// otherwise it covers the line it is on and the line below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("tsplit/internal/core").
+	Path string
+	// Fset is the (module-shared) position table.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types is the checked package object.
+	Types *types.Package
+	// Info carries the expression types and identifier uses the
+	// analyzers query.
+	Info *types.Info
+}
+
+// Pass is the per-(analyzer, package) run context handed to an
+// analyzer's Run function.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Path  string
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rule string
+	out  *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name is the rule identifier used in output and in //lint:allow.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Packages restricts the analyzer to these import paths (exact
+	// match); empty means every package.
+	Packages []string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+func (a *Analyzer) appliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the project rule set, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop}
+}
+
+// ByName resolves a comma-separated rule list ("maporder,errdrop").
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	all := Analyzers()
+	var sel []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				sel = append(sel, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+	}
+	return sel, nil
+}
+
+// Run executes the analyzers over the packages, filters suppressed
+// findings, and returns the remainder sorted by position then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.appliesTo(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Fset: pkg.Fset, Files: pkg.Files, Path: pkg.Path,
+				Pkg: pkg.Types, Info: pkg.Info,
+				rule: a.Name, out: &diags,
+			})
+		}
+	}
+	diags = filterSuppressed(diags, pkgs)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// allowRe matches `lint:allow rule1,rule2 optional reason`.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z0-9_,-]+)`)
+
+// suppressions holds the allow state of one file.
+type suppressions struct {
+	fileWide map[string]bool
+	// byLine[n] suppresses the named rules on line n.
+	byLine map[int]map[string]bool
+}
+
+// collectSuppressions scans a file's comments for lint:allow
+// directives. A directive above the package clause suppresses the rule
+// for the whole file; elsewhere it suppresses findings on its own line
+// and the immediately following line.
+func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
+	s := suppressions{fileWide: map[string]bool{}, byLine: map[int]map[string]bool{}}
+	pkgLine := fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, rule := range strings.Split(m[1], ",") {
+				rule = strings.TrimSpace(rule)
+				if rule == "" {
+					continue
+				}
+				if line < pkgLine {
+					s.fileWide[rule] = true
+					continue
+				}
+				for _, l := range []int{line, line + 1} {
+					if s.byLine[l] == nil {
+						s.byLine[l] = map[string]bool{}
+					}
+					s.byLine[l][rule] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func filterSuppressed(diags []Diagnostic, pkgs []*Package) []Diagnostic {
+	byFile := map[string]suppressions{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Package).Filename
+			byFile[name] = collectSuppressions(pkg.Fset, f)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		s, ok := byFile[d.File]
+		if ok && (s.fileWide[d.Rule] || s.byLine[d.Line][d.Rule]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a loaded, type-checked Go module.
+type Module struct {
+	// Path is the module path from go.mod ("tsplit").
+	Path string
+	// Dir is the module root directory.
+	Dir string
+	// Pkgs are the module's packages in deterministic (import-path)
+	// order.
+	Pkgs []*Package
+}
+
+// LoadModule parses and type-checks every package of the module rooted
+// at dir (the directory containing go.mod). Test files are skipped:
+// the determinism rules guard production code, and tests legitimately
+// use seeded randomness and order-insensitive assertions. Standard
+// library imports are resolved by the compiler-independent source
+// importer, so the loader needs no build cache and no external
+// dependencies.
+func LoadModule(dir string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		path    string
+		files   []*ast.File
+		imports []string // module-internal import paths
+	}
+	raw := map[string]*rawPkg{}
+	var paths []string
+	for _, d := range dirs {
+		files, err := parseDir(fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(dir, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: path, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+					seen[p] = true
+					rp.imports = append(rp.imports, p)
+				}
+			}
+		}
+		sort.Strings(rp.imports)
+		raw[path] = rp
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	// Type-check in dependency order so the importer can hand back
+	// already-checked module packages.
+	imp := &moduleImporter{
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*types.Package{},
+	}
+	m := &Module{Path: modPath, Dir: dir}
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	byPath := map[string]*Package{}
+	var check func(path string) error
+	check = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		rp := raw[path]
+		for _, dep := range rp.imports {
+			if dep == path {
+				continue
+			}
+			if _, ok := raw[dep]; !ok {
+				return fmt.Errorf("lint: %s imports unknown module package %s", path, dep)
+			}
+			if err := check(dep); err != nil {
+				return err
+			}
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		tpkg, err := conf.Check(path, fset, rp.files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		imp.checked[path] = tpkg
+		pkg := &Package{Path: path, Fset: fset, Files: rp.files, Types: tpkg, Info: info}
+		byPath[path] = pkg
+		state[path] = 2
+		return nil
+	}
+	for _, path := range paths {
+		if err := check(path); err != nil {
+			return nil, err
+		}
+	}
+	for _, path := range paths {
+		m.Pkgs = append(m.Pkgs, byPath[path])
+	}
+	return m, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked in this load, and everything else through the source
+// importer.
+type moduleImporter struct {
+	modPath string
+	std     types.Importer
+	checked map[string]*types.Package
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.checked[path]; ok {
+		return pkg, nil
+	}
+	if path == im.modPath || strings.HasPrefix(path, im.modPath+"/") {
+		return nil, fmt.Errorf("lint: module package %s imported before it was checked", path)
+	}
+	return im.std.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs lists every directory under root that may hold a
+// package, skipping hidden directories, testdata, and vendor.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

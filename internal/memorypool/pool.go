@@ -303,6 +303,64 @@ func (p *Pool) largestFree() int64 {
 	return max
 }
 
+// CheckInvariants audits the pool's internal structures: the free list
+// must be offset-sorted, positive-sized, coalesced, and in-arena; used
+// blocks must not overlap each other or any free block; and every byte
+// of the arena must be accounted for exactly once. The plan verifier
+// calls it after every replayed allocation step, so a corruption is
+// reported at the event that introduced it rather than at teardown.
+func (p *Pool) CheckInvariants() error {
+	type ext struct {
+		off, size int64
+		used      bool
+	}
+	exts := make([]ext, 0, len(p.free)+len(p.used))
+	for i, fb := range p.free {
+		if fb.size <= 0 {
+			return fmt.Errorf("memorypool: free block %d at offset %d has non-positive size %d", i, fb.off, fb.size)
+		}
+		if i > 0 && p.free[i-1].off >= fb.off {
+			return fmt.Errorf("memorypool: free list not sorted at index %d (%d >= %d)", i, p.free[i-1].off, fb.off)
+		}
+		if i > 0 && p.free[i-1].off+p.free[i-1].size == fb.off {
+			return fmt.Errorf("memorypool: free blocks at %d and %d are adjacent but not coalesced", p.free[i-1].off, fb.off)
+		}
+		exts = append(exts, ext{fb.off, fb.size, false})
+	}
+	var inUse int64
+	offs := make([]int64, 0, len(p.used))
+	for off := range p.used {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		size := p.used[off]
+		if size <= 0 {
+			return fmt.Errorf("memorypool: used block at offset %d has non-positive size %d", off, size)
+		}
+		inUse += size
+		exts = append(exts, ext{off, size, true})
+	}
+	if inUse != p.stats.InUse {
+		return fmt.Errorf("memorypool: InUse stat %d disagrees with used-block sum %d", p.stats.InUse, inUse)
+	}
+	sort.SliceStable(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
+	var cursor int64
+	for _, e := range exts {
+		if e.off < cursor {
+			return fmt.Errorf("memorypool: extent at offset %d (size %d) overlaps the previous extent ending at %d", e.off, e.size, cursor)
+		}
+		if e.off > cursor {
+			return fmt.Errorf("memorypool: %d bytes at offset %d tracked neither used nor free", e.off-cursor, cursor)
+		}
+		cursor = e.off + e.size
+	}
+	if cursor != p.capacity {
+		return fmt.Errorf("memorypool: extents cover %d of %d bytes", cursor, p.capacity)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of pool statistics.
 func (p *Pool) Stats() Stats {
 	s := p.stats

@@ -1,0 +1,17 @@
+package obs
+
+import "time"
+
+// Clock supplies wall-clock readings to the components that time their
+// own work: the planner's latency metric and the experiment sweeps'
+// per-cell durations. It exists so the clockdet lint rule can ban
+// ambient time.Now everywhere else in the module — wall clock must
+// never leak into plans or simulated timestamps, which are pure
+// functions of (graph, schedule, device, options). Code that needs
+// elapsed time receives a Clock through its options; tests substitute
+// a fake to make timing-dependent output reproducible.
+type Clock func() time.Time
+
+// Wall reads the real wall clock. This file is the module's only
+// sanctioned time.Now call site (the clockdet allowlist).
+func Wall() time.Time { return time.Now() }

@@ -125,6 +125,7 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 			// Pressure valve: regenerated tensors not touched by the
 			// current operator can always be dropped and re-produced.
 			var victim *graph.Tensor
+			//lint:allow maporder argmax with ID tie-break is order-insensitive
 			for t, wr := range s.wasRecomputed {
 				if !wr || s.state[t] != onDevice || s.pinned[t] {
 					continue
@@ -152,6 +153,7 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 				return memorypool.Block{}, at, fmt.Errorf("%w: need %d bytes, %d in use of %d (already compact)",
 					ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity())
 			}
+			//lint:allow maporder each entry is remapped independently; no cross-entry state
 			for t, blk := range s.block {
 				if no, ok := remap[blk.Offset]; ok {
 					blk.Offset = no

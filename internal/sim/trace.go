@@ -85,16 +85,26 @@ func WriteChromeTrace(w io.Writer, timeline []TimelinePoint) error {
 		Name: "process_name", Ph: "M", PID: tracePID,
 		Args: map[string]any{"name": "tsplit sim"},
 	})
-	laneNames := make([]string, 0, len(tids))
+	// Several names can share a TID; pick the winner for each lane in
+	// sorted-name order so the legend is identical run to run, then
+	// order lanes by TID (ties already broken by the name dedupe).
+	names := make([]string, 0, len(tids))
+	for name := range tids {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	laneNames := make([]string, 0, len(names))
 	seenTID := map[int]bool{}
-	for name, tid := range tids {
-		if name == "" || seenTID[tid] {
+	for _, name := range names {
+		if seenTID[tids[name]] {
 			continue
 		}
-		seenTID[tid] = true
+		seenTID[tids[name]] = true
 		laneNames = append(laneNames, name)
 	}
-	sort.Slice(laneNames, func(i, j int) bool { return tids[laneNames[i]] < tids[laneNames[j]] })
+	sort.SliceStable(laneNames, func(i, j int) bool { return tids[laneNames[i]] < tids[laneNames[j]] })
 	for _, name := range laneNames {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: tracePID, TID: tids[name],

@@ -10,6 +10,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE=bench_results.txt
+if [ ! -f "$BASELINE" ]; then
+    echo "bench-guard: FAIL: baseline file $BASELINE not found in $(pwd)" >&2
+    echo "bench-guard: record one with: go test -run '^\$' -bench BenchmarkPlannerPlan -benchtime 5x . | tee $BASELINE" >&2
+    exit 1
+fi
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 

@@ -67,6 +67,8 @@ type (
 	// PlanReport is the planner's structured introspection record: one
 	// entry per greedy iteration plus plan-level aggregates.
 	PlanReport = core.PlanReport
+	// Violation is one broken plan invariant found by VerifyPlan.
+	Violation = core.Violation
 )
 
 // NewRegistry returns an empty metrics Registry.
@@ -171,6 +173,19 @@ func (w *Workload) PlanWithReport(opts PlanOptions) (*Plan, *PlanReport, error) 
 		return nil, nil, err
 	}
 	return plan, pl.Report(), nil
+}
+
+// VerifyPlan statically checks a plan — from the TSPLIT planner, a
+// baseline, a deserialized artifact, or hand edits — against the
+// workload's safety invariants: the memory curve stays under the
+// device's capacity, no consumer runs while its input is evicted, split
+// and micro-restore decisions pair up, recompute chains bottom out at
+// recoverable tensors without cycles, and the plan's allocation pattern
+// replays through the memory pool without overlap. It returns nil for
+// a safe plan; a non-empty result means running the plan would diverge
+// or OOM.
+func (w *Workload) VerifyPlan(plan *Plan) []Violation {
+	return core.VerifyAt(plan, w.G, w.Sched, w.Lv, w.Dev.MemBytes)
 }
 
 // PlanBaseline produces a baseline policy's plan ("base", "vdnn-conv",
