@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt lint build test race bench bench-guard verify-plans ci
+.PHONY: all vet fmt lint build test race bench bench-guard verify-plans cover ci
 
 all: ci
 
@@ -44,4 +44,9 @@ bench-guard:
 verify-plans:
 	$(GO) test -run 'TestVerifyPlanAllModels' -count=1 .
 
-ci: vet fmt lint build race bench bench-guard verify-plans
+# Statement-coverage floor (80%) on the planner core and the runtime
+# simulator — the packages the differential/fault test layers defend.
+cover:
+	sh scripts/cover_gate.sh
+
+ci: vet fmt lint build race bench bench-guard verify-plans cover

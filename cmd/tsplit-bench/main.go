@@ -3,7 +3,7 @@
 // comma-separated subset of:
 //
 //	fig1 fig2a fig2b table2 fig5 table4 table5 fig12 fig13
-//	fig14a fig14b table6 table7 fig15 ablations
+//	fig14a fig14b table6 table7 fig15 ablations faults
 //
 // -quick trims the scale-search bounds so a full run finishes in about
 // a minute; the defaults match the paper's ranges.
@@ -17,6 +17,7 @@ import (
 
 	"tsplit/internal/device"
 	"tsplit/internal/experiments"
+	"tsplit/internal/models"
 	"tsplit/internal/obs"
 )
 
@@ -141,6 +142,13 @@ func main() {
 	})
 	run("fig15", func() (string, error) {
 		return experiments.Fig15ThroughputVsOffload().Render(), nil
+	})
+	run("faults", func() (string, error) {
+		rep, err := experiments.FaultSweep("vgg16", models.Config{BatchSize: 96}, device.GTX1080Ti, 42)
+		if err != nil {
+			return "", err
+		}
+		return rep.Render(), nil
 	})
 	run("ablations", func() (string, error) {
 		reports, err := experiments.AllAblations()

@@ -110,6 +110,57 @@ func (o *outputs) writeTrace(timeline []sim.TimelinePoint) {
 		len(timeline), o.trace)
 }
 
+// faultOpts groups the fault-injection flags.
+type faultOpts struct {
+	enabled  bool
+	seed     uint64
+	severity float64
+}
+
+// runZooFaulted plans and simulates a zoo model under an injected
+// hostile environment, descending the graceful-degradation ladder
+// instead of aborting on injected OOM.
+func runZooFaulted(model string, batch int, budget float64, fo faultOpts, out *outputs) {
+	w, err := tsplit.Load(model, tsplit.ModelConfig{BatchSize: batch}, tsplit.TitanRTX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap := int64(float64(w.BaselinePeakBytes()) * budget)
+	if cap > w.Dev.MemBytes {
+		cap = w.Dev.MemBytes
+	}
+	fmt.Printf("%s batch %d: unmanaged peak %.2f GiB; budget %.2f GiB; faults seed=%d severity=%.2f\n",
+		model, batch, float64(w.BaselinePeakBytes())/(1<<30), float64(cap)/(1<<30), fo.seed, fo.severity)
+
+	opts := []tsplit.RunOption{tsplit.Observe(out.reg)}
+	if out.wantTrace() {
+		opts = append(opts, tsplit.WithTimeline())
+	}
+	outcome, rep, err := w.RunResilient(
+		tsplit.PlanOptions{CapacityBytes: cap, Observe: out.reg},
+		tsplit.FaultConfig{Seed: fo.seed, Severity: fo.severity},
+		opts...)
+	if err != nil {
+		log.Fatalf("resilient run: %v", err)
+	}
+	for _, st := range outcome.Stages {
+		status := "ok"
+		if st.Err != "" {
+			status = st.Err
+		}
+		fmt.Printf("  ladder %-8s margin=%.2f  %s\n", st.Kind, st.Margin, status)
+	}
+	f := rep.Raw.Faults
+	fmt.Printf("simulated iteration: %.1f samples/s, peak %.2f GiB, overhead %.1f%%, PCIe %.0f%%\n",
+		rep.Throughput, rep.PeakGiB, rep.Overhead*100, rep.PCIeUtilization*100)
+	fmt.Printf("faults: %d swap retries (%d exhausted), %d degraded transfers, %d capacity events, noise %+.3fs\n",
+		f.SwapRetries, f.SwapExhausted, f.BandwidthEvents, f.CapacityEvents, f.OpNoiseSeconds)
+
+	out.writeReport(outcome.Report)
+	out.writeTrace(rep.Raw.Timeline)
+	out.writeMetrics()
+}
+
 // runZoo plans and simulates one iteration of a zoo model under a
 // budget, exporting whatever artifacts were requested.
 func runZoo(model string, batch int, budget float64, out *outputs) {
@@ -156,13 +207,23 @@ func main() {
 	metrics := flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" = stdout)")
 	trace := flag.String("trace", "", "write a Chrome/Perfetto trace of the simulated iteration to this file")
 	planReport := flag.String("plan-report", "", "write the planner's JSON decision report to this file (\"-\" = stdout)")
+	faultsOn := flag.Bool("faults", false, "inject a deterministic hostile environment (op noise, PCIe degradation, transient transfer failures, capacity shrink) and run the degradation ladder")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed; same seed + severity replays the same faults byte for byte")
+	faultSeverity := flag.Float64("fault-severity", tsplit.DefaultFaultSeverity, "fault severity in (0, 1]")
 	flag.Parse()
 
 	out := &outputs{metrics: *metrics, trace: *trace, report: *planReport, reg: tsplit.NewRegistry()}
 
 	if *model != "" {
+		if *faultsOn {
+			runZooFaulted(*model, *batch, *budget, faultOpts{enabled: true, seed: *faultSeed, severity: *faultSeverity}, out)
+			return
+		}
 		runZoo(*model, *batch, *budget, out)
 		return
+	}
+	if *faultsOn {
+		log.Fatal("-faults requires -model (fault injection runs in the simulator, not the float32 demo)")
 	}
 
 	g, images := buildNet(*batch)

@@ -76,4 +76,62 @@ func FinalizeWindows(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, 
 		}
 		plan.Tensors[id] = tp
 	}
+
+	// Derive recompute-chain transients against the finalized plan. The
+	// runtime holds a regeneration's intermediates until the whole chain
+	// has re-executed, so the memory curve must charge their sum (plus
+	// the widest chain workspace) at the restoring consumer — without
+	// this the curve under-predicts deep-chain policies (sqrt(N)
+	// checkpointing) by the size of a whole segment. Availability is
+	// judged at the consumer's schedule position: a chain source is only
+	// on device there if it has not been dropped by its own eviction
+	// window (recompute decisions) or refcount-freed after its last
+	// scheduled use — by late backward, residuals force chains across
+	// whole stages. An op's restorations run sequentially and each
+	// chain's intermediates are retired before the next starts, so the
+	// per-index charge is the maximum over that op's chains, recorded in
+	// plan.ChainTransients. (The TSPLIT planner instead maintains
+	// per-tensor ChainBytes estimates for the shallow chains it creates.)
+	var chainT []int64
+	for _, id := range ids {
+		tp, ok := plan.Tensors[id]
+		if !ok || tp.Opt != Recompute || tp.ChainBytes > 0 {
+			continue
+		}
+		for _, c := range tp.Tensor.Consumers {
+			u := sched.Index[c]
+			if u < tp.RestoreAt {
+				continue
+			}
+			chain, err := RecomputeChain(tp.Tensor, func(x *graph.Tensor) bool {
+				if xp, planned := plan.Tensors[x.ID]; planned && xp.Opt == Recompute {
+					return xp.EvictAt >= u
+				}
+				return lv.LastUse[x] < 0 || lv.LastUse[x] >= u
+			}, len(g.Ops))
+			if err != nil {
+				continue // the verifier reports unrecoverable chains
+			}
+			var sum, ws int64
+			for _, op := range chain {
+				if op.Workspace > ws {
+					ws = op.Workspace
+				}
+				for _, o := range op.Outputs {
+					if o != tp.Tensor {
+						sum += o.Bytes()
+					}
+				}
+			}
+			if b := sum + ws; b > 0 {
+				if chainT == nil {
+					chainT = make([]int64, len(sched.Ops))
+				}
+				if b > chainT[u] {
+					chainT[u] = b
+				}
+			}
+		}
+	}
+	plan.ChainTransients = chainT
 }

@@ -131,6 +131,9 @@ func (ms *MemSim) Curve(p *Plan) (memAt []int64, peak int64, peakIdx int) {
 	for i := 0; i < n; i++ {
 		run += delta[i]
 		memAt[i] = run + ms.opFootprintAdjustment(ms.Sched.Ops[i], p)
+		if p.ChainTransients != nil {
+			memAt[i] += p.ChainTransients[i]
+		}
 		if memAt[i] > peak {
 			peak = memAt[i]
 			peakIdx = i

@@ -135,6 +135,16 @@ type Plan struct {
 	PredictedTime float64
 	// PredictedPeak is the planner's estimate of peak device memory.
 	PredictedPeak int64
+
+	// ChainTransients, when non-nil, adds per-schedule-index transient
+	// memory for recompute-chain regenerations to the memory curve.
+	// FinalizeWindows derives it for baseline plans, whose deep chains
+	// (sqrt(N) checkpointing) the per-tensor ChainBytes point charges
+	// cannot bound without double-counting co-consumed chains: the
+	// runtime regenerates an op's inputs sequentially and retires each
+	// chain's intermediates before starting the next, so the per-index
+	// bound is the maximum — not the sum — over that op's restorations.
+	ChainTransients []int64
 }
 
 // NewPlan returns an empty (all-reside) plan.

@@ -39,6 +39,12 @@ type Options struct {
 	// transient regeneration buffers at run time (default
 	// max(256 MiB, 3% of capacity); negative disables).
 	FragmentationReserve int64
+	// SafetyMargin plans against a budget reduced by this fraction of
+	// the capacity (applied before the fragmentation reserve),
+	// reserving headroom for a hostile environment — co-located jobs
+	// stealing memory mid-iteration. The degradation ladder escalates
+	// it on injected OOM. Clamped to [0, 0.9]; zero disables.
+	SafetyMargin float64
 	// OffloadOptimizer composes TSPLIT's activation planning with
 	// CPU-side optimizer state and updates (the configuration used for
 	// the PyTorch offload comparison, paper Sec. VI-D).
@@ -93,6 +99,15 @@ func (o Options) withDefaults(dev device.Device) Options {
 	o.defaulted = true
 	if o.Capacity == 0 {
 		o.Capacity = dev.MemBytes
+	}
+	if o.SafetyMargin > 0 {
+		if o.SafetyMargin > 0.9 {
+			o.SafetyMargin = 0.9
+		}
+		o.Capacity -= int64(float64(o.Capacity) * o.SafetyMargin)
+	}
+	if o.SafetyMargin < 0 {
+		o.SafetyMargin = 0
 	}
 	if o.FragmentationReserve == 0 {
 		o.FragmentationReserve = o.Capacity * 3 / 100
@@ -290,7 +305,10 @@ func (pl *Planner) Plan() (*Plan, error) {
 	}
 	cap := pl.Opts.Capacity
 	if pl.Opts.CollectReport {
-		pl.report = &PlanReport{Policy: pl.plan.Name, Device: pl.Dev.Name, CapacityBytes: cap}
+		pl.report = &PlanReport{
+			Policy: pl.plan.Name, Device: pl.Dev.Name,
+			CapacityBytes: cap, SafetyMargin: pl.Opts.SafetyMargin,
+		}
 	}
 	incremental := !pl.Opts.Serial
 	if incremental {
@@ -632,8 +650,29 @@ func (pl *Planner) applyEvict(c *candidate) planDelta {
 
 func (pl *Planner) applySplit(c *candidate) planDelta {
 	op := c.split.Op
-	pl.plan.Splits[op.ID] = c.split
 	d := planDelta{ops: []*graph.Op{op}}
+	if old, ok := pl.plan.Splits[op.ID]; ok {
+		// Replacing the op's split: inputs the new decision no longer
+		// micro-restores must not keep a stale MicroRestore (it would
+		// break the split-balance invariant and skew the memory curve).
+		for _, t := range old.MicroIns {
+			kept := false
+			for _, nt := range c.split.MicroIns {
+				if nt == t {
+					kept = true
+					break
+				}
+			}
+			if kept {
+				continue
+			}
+			tp := pl.plan.Tensors[t.ID]
+			tp.MicroRestore = 0
+			pl.plan.Tensors[t.ID] = tp
+			d.tensors = append(d.tensors, t)
+		}
+	}
+	pl.plan.Splits[op.ID] = c.split
 	for _, t := range c.split.MicroIns {
 		tp := pl.plan.Tensors[t.ID]
 		tp.MicroRestore = c.split.PNum

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/profiler"
+	"tsplit/internal/workload"
+)
+
+// TestPlanRandomGraphsVerifyClean is the planner's property test: over
+// 200 randomly generated training graphs (linear/branchy/diamond
+// topologies, varied tensor sizes) at a tight budget, every plan the
+// planner produces must pass the static invariant verifier with zero
+// violations. Infeasible budgets may fail to plan — that is a
+// legitimate outcome — but a plan that comes back must be safe.
+func TestPlanRandomGraphsVerifyClean(t *testing.T) {
+	feasible := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		g := workload.RandGraph(seed)
+		sched, err := graph.BuildSchedule(g)
+		if err != nil {
+			t.Fatalf("seed %d: schedule: %v", seed, err)
+		}
+		lv := graph.AnalyzeLiveness(g, sched)
+		// Small graphs are parameter-dominated; squeeze the manageable
+		// region (activations) rather than the resident floor, which no
+		// planning decision can move.
+		var floor int64
+		for _, tn := range g.Tensors {
+			if tn.Producer == nil {
+				floor += tn.Bytes()
+			}
+		}
+		budget := floor + (lv.Peak-floor)*65/100
+		pl := NewPlanner(g, sched, lv, profiler.New(device.TitanRTX, sched), device.TitanRTX, Options{
+			Capacity: budget,
+			// These graphs are MiB-scale; the default 256 MiB reserve
+			// would swallow the whole budget.
+			FragmentationReserve: -1,
+		})
+		plan, err := pl.Plan()
+		if err != nil {
+			continue
+		}
+		feasible++
+		for _, v := range VerifyAt(plan, g, sched, lv, budget) {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+	// The property is vacuous if the budget is so tight nothing plans.
+	if feasible < 100 {
+		t.Fatalf("only %d/200 random graphs were plannable; generator or budget drifted", feasible)
+	}
+}

@@ -61,6 +61,13 @@ type PlanReport struct {
 	CapacityBytes    int64 `json:"capacity_bytes"`
 	InitialPeakBytes int64 `json:"initial_peak_bytes"`
 	FinalPeakBytes   int64 `json:"final_peak_bytes"`
+	// SafetyMargin is the Options.SafetyMargin the plan was built
+	// with — the budget fraction reserved for environmental pressure.
+	SafetyMargin float64 `json:"safety_margin,omitempty"`
+	// Degradations records the graceful-degradation ladder stages that
+	// failed before this plan succeeded ("plan margin=0.10: injected
+	// OOM", ...). Empty when the first plan ran clean.
+	Degradations []string `json:"degradations,omitempty"`
 	// PredictedTimeSeconds / ExtraTimeSeconds mirror the plan's cost
 	// estimate: profiled iteration time plus the accumulated ΔT.
 	PredictedTimeSeconds float64 `json:"predicted_time_seconds"`

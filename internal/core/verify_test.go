@@ -11,6 +11,7 @@ import (
 	"tsplit/internal/models"
 	"tsplit/internal/profiler"
 	"tsplit/internal/tensor"
+	"tsplit/internal/workload"
 )
 
 // planUnderPressure plans the testbed's model against a budget tight
@@ -305,13 +306,37 @@ func FuzzVerifyPlan(f *testing.F) {
 	f.Add(uint8(1), uint8(7), uint8(5), uint8(1))
 	f.Add(uint8(0), uint8(15), uint8(40), uint8(2))
 	f.Add(uint8(1), uint8(11), uint8(0), uint8(3))
+	// Selector 2 routes to the randomized workload generator.
+	f.Add(uint8(2), uint8(42), uint8(30), uint8(0))
+	f.Add(uint8(2), uint8(111), uint8(55), uint8(2))
+	f.Add(uint8(5), uint8(9), uint8(12), uint8(3))
 	f.Fuzz(func(t *testing.T, modelSel, batchSel, capSel, mutSel uint8) {
-		zoo := []string{"vgg16", "resnet50"}
-		tb := fuzzTestbed(t, zoo[int(modelSel)%len(zoo)], 1+int(batchSel)%16)
-		// Budget between 40% and 99% of the unmanaged peak: tight enough
-		// to force decisions, loose enough to usually be feasible.
-		capacity := tb.lv.Peak * int64(40+int(capSel)%60) / 100
-		plan, err := NewPlanner(tb.g, tb.sched, tb.lv, tb.prof, tb.dev, Options{Capacity: capacity}).Plan()
+		var tb *testbed
+		if int(modelSel)%3 == 2 {
+			// Randomly generated DAG: (batchSel, capSel) seed the
+			// generator so the fuzzer explores topology space too.
+			tb = fuzzRandTestbed(t, uint64(batchSel)<<8|uint64(capSel))
+		} else {
+			zoo := []string{"vgg16", "resnet50"}
+			tb = fuzzTestbed(t, zoo[int(modelSel)%2], 1+int(batchSel)%16)
+		}
+		// Budget between 40% and 99% of the unmanaged peak above the
+		// resident floor: tight enough to force decisions, loose enough
+		// to usually be feasible.
+		var floor int64
+		for _, tn := range tb.g.Tensors {
+			if tn.Producer == nil {
+				floor += tn.Bytes()
+			}
+		}
+		capacity := floor + (tb.lv.Peak-floor)*int64(40+int(capSel)%60)/100
+		opts := Options{Capacity: capacity}
+		if int(modelSel)%3 == 2 {
+			// Generated graphs are MiB-scale; the default 256 MiB
+			// fragmentation reserve would swallow the whole budget.
+			opts.FragmentationReserve = -1
+		}
+		plan, err := NewPlanner(tb.g, tb.sched, tb.lv, tb.prof, tb.dev, opts).Plan()
 		if err != nil {
 			t.Skip("infeasible budget")
 		}
@@ -374,6 +399,25 @@ func fuzzTestbed(t *testing.T, model string, batch int) *testbed {
 	if err != nil {
 		t.Fatalf("build %s: %v", key, err)
 	}
+	sched, err := graph.BuildSchedule(g)
+	if err != nil {
+		t.Fatalf("schedule %s: %v", key, err)
+	}
+	lv := graph.AnalyzeLiveness(g, sched)
+	tb := &testbed{g: g, sched: sched, lv: lv, prof: profiler.New(device.TitanRTX, sched), dev: device.TitanRTX}
+	fuzzTestbeds[key] = tb
+	return tb
+}
+
+// fuzzRandTestbed caches testbeds for generated graphs by seed.
+func fuzzRandTestbed(t *testing.T, seed uint64) *testbed {
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	key := fmt.Sprintf("rand/%d", seed)
+	if tb, ok := fuzzTestbeds[key]; ok {
+		return tb
+	}
+	g := workload.RandGraph(seed)
 	sched, err := graph.BuildSchedule(g)
 	if err != nil {
 		t.Fatalf("schedule %s: %v", key, err)

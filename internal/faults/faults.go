@@ -1,0 +1,239 @@
+// Package faults is a seeded, byte-deterministic fault-injection
+// framework for the simulated runtime. It models the hostile
+// environment of a shared training rack — mispredicted kernel times,
+// contended PCIe links, transient transfer failures, and co-located
+// jobs stealing device memory — as deterministic functions of a seed,
+// so every experiment is replayable bit for bit.
+//
+// Determinism story: per-event decisions (op-time noise, bandwidth
+// windows, transfer-failure attempts) are drawn with a stateless
+// SplitMix64-keyed hash of (seed, fault kind, event identity). Because
+// no generator state is shared between draws, the injected environment
+// does not shift when the plan changes, when ops execute in a
+// different order, or when runs race concurrently — replanning under
+// the degradation ladder faces the *same* adversity as the run that
+// triggered it. Only the run-scoped capacity schedule uses the
+// sequential Source in rand.go (the module's sanctioned math/rand
+// site).
+package faults
+
+// Kind identifies one injected fault class.
+type Kind int
+
+const (
+	// OpNoise perturbs operator compute times multiplicatively,
+	// modeling profiled-vs-actual kernel misprediction.
+	OpNoise Kind = iota
+	// Bandwidth degrades PCIe transfer bandwidth over windows of the
+	// schedule, modeling link contention from co-located jobs.
+	Bandwidth
+	// SwapFail makes individual swap transfers fail transiently; the
+	// runtime retries with exponential backoff.
+	SwapFail
+	// CapacityShrink allocates phantom "co-located job" blocks from the
+	// device pool over windows of the schedule, shrinking the memory
+	// actually available to the plan.
+	CapacityShrink
+
+	numKinds
+)
+
+// String names the fault kind (metric label values).
+func (k Kind) String() string {
+	switch k {
+	case OpNoise:
+		return "op-noise"
+	case Bandwidth:
+		return "bandwidth"
+	case SwapFail:
+		return "swap-fail"
+	case CapacityShrink:
+		return "capacity-shrink"
+	default:
+		return "unknown"
+	}
+}
+
+// Kinds lists every fault class.
+func Kinds() []Kind { return []Kind{OpNoise, Bandwidth, SwapFail, CapacityShrink} }
+
+const (
+	// DefaultSeverity is the documented default for -fault-severity: a
+	// rack bad enough to need the degradation ladder on tight budgets,
+	// mild enough that a planned margin usually absorbs it.
+	DefaultSeverity = 0.3
+	// MaxSwapRetries bounds transient-transfer retries. After the
+	// budget is exhausted the link is reset and the final attempt
+	// succeeds unconditionally — transients degrade, they never abort.
+	MaxSwapRetries = 4
+	// BackoffBase is the first retry's backoff delay in seconds; each
+	// subsequent retry doubles it.
+	BackoffBase = 50e-6
+	// Transfer directions for SwapFailures keys.
+	DirOut = 0
+	DirIn  = 1
+
+	// bandwidthWindow is the schedule-index granularity of PCIe
+	// degradation windows.
+	bandwidthWindow = 8
+)
+
+// Config selects a deterministic fault environment.
+type Config struct {
+	// Seed keys every draw; same seed + same severity = same faults.
+	Seed uint64
+	// Severity in (0, 1] scales every fault class: noise amplitude,
+	// degradation probability and depth, transfer failure probability,
+	// and stolen-capacity size. Zero or negative disables injection.
+	Severity float64
+	// Kinds restricts injection to the listed fault classes
+	// (nil = all).
+	Kinds []Kind
+}
+
+// Injector answers "what goes wrong, and when" for one environment.
+// A nil *Injector is valid and injects nothing.
+type Injector struct {
+	seed uint64
+	sev  float64
+	mask uint
+}
+
+// New builds an Injector, or nil when the config disables injection.
+func New(cfg Config) *Injector {
+	if cfg.Severity <= 0 {
+		return nil
+	}
+	sev := cfg.Severity
+	if sev > 1 {
+		sev = 1
+	}
+	inj := &Injector{seed: cfg.Seed, sev: sev}
+	if len(cfg.Kinds) == 0 {
+		inj.mask = 1<<uint(numKinds) - 1
+	} else {
+		for _, k := range cfg.Kinds {
+			if k >= 0 && k < numKinds {
+				inj.mask |= 1 << uint(k)
+			}
+		}
+	}
+	return inj
+}
+
+// Severity reports the clamped severity (0 for a nil injector).
+func (inj *Injector) Severity() float64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sev
+}
+
+// enabled reports whether a fault class is active.
+func (inj *Injector) enabled(k Kind) bool {
+	return inj != nil && inj.mask&(1<<uint(k)) != 0
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit hashes (seed, kind, keys...) to a uniform draw in [0, 1).
+func (inj *Injector) unit(k Kind, keys ...uint64) float64 {
+	h := mix64(inj.seed ^ uint64(k)*0xa0761d6478bd642f)
+	for _, key := range keys {
+		h = mix64(h ^ key)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// OpTimeFactor returns the multiplicative compute-time misprediction
+// factor for the operator at schedule index i, in
+// [1-sev/2, 1+sev/2): profiles may be optimistic or pessimistic.
+func (inj *Injector) OpTimeFactor(i int) float64 {
+	if !inj.enabled(OpNoise) {
+		return 1
+	}
+	z := 2*inj.unit(OpNoise, uint64(i)) - 1
+	return 1 + 0.5*inj.sev*z
+}
+
+// TransferFactor returns the PCIe transfer-time multiplier (>= 1) in
+// effect at schedule index i. Degradation arrives in windows of
+// bandwidthWindow schedule steps; within a degraded window every
+// transfer is slowed by the same factor, up to 1+3*sev.
+func (inj *Injector) TransferFactor(i int) float64 {
+	if !inj.enabled(Bandwidth) {
+		return 1
+	}
+	w := uint64(i / bandwidthWindow)
+	if inj.unit(Bandwidth, w, 0) >= 0.35*inj.sev {
+		return 1
+	}
+	return 1 + 3*inj.sev*inj.unit(Bandwidth, w, 1)
+}
+
+// SwapFailures returns how many transient failures the transfer of
+// tensor id in direction dir at schedule index i suffers before it
+// succeeds, in [0, MaxSwapRetries]. Each attempt fails independently
+// with probability = severity, so severity 1 always exhausts the
+// retry budget (and the post-reset attempt still succeeds).
+func (inj *Injector) SwapFailures(id, i, dir int) int {
+	if !inj.enabled(SwapFail) {
+		return 0
+	}
+	fails := 0
+	for a := 0; a < MaxSwapRetries; a++ {
+		if inj.unit(SwapFail, uint64(id), uint64(i), uint64(dir), uint64(a)) >= inj.sev {
+			break
+		}
+		fails++
+	}
+	return fails
+}
+
+// CapacityEvent is one co-located-job window: Bytes of pool memory
+// are held from schedule index Start until just before End.
+type CapacityEvent struct {
+	Start, End int
+	Bytes      int64
+}
+
+// CapacityEvents draws the run's capacity-shrink schedule for an
+// n-op schedule against a device budget. Event count, placement, and
+// stolen size all scale with severity; at DefaultSeverity each event
+// steals 1.5–9% of the budget. The combined steal across all events
+// is capped at 45% of the budget scaled by severity — co-located
+// jobs squeeze the plan, they do not confiscate the device — so the
+// swap-all fallback always has something left to run in.
+func (inj *Injector) CapacityEvents(n int, capacity int64) []CapacityEvent {
+	if !inj.enabled(CapacityShrink) || n < 2 || capacity <= 0 {
+		return nil
+	}
+	src := NewSource(mix64(mix64(inj.seed^0xe7037ed1a0b428db) ^ uint64(CapacityShrink)))
+	events := 1 + int(inj.sev*4)
+	budget := int64(float64(capacity) * inj.sev * 0.45)
+	out := make([]CapacityEvent, 0, events)
+	for e := 0; e < events; e++ {
+		start := src.Intn(n - 1)
+		dur := 1 + n/6 + src.Intn(n/6+1)
+		end := start + dur
+		if end > n {
+			end = n
+		}
+		bytes := int64(float64(capacity) * inj.sev * (0.05 + 0.25*src.Float64()))
+		if bytes > budget {
+			bytes = budget
+		}
+		if bytes <= 0 {
+			continue
+		}
+		budget -= bytes
+		out = append(out, CapacityEvent{Start: start, End: end, Bytes: bytes})
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package faults
+
+import "testing"
+
+func TestNewDisabledAndNilSafety(t *testing.T) {
+	if New(Config{Seed: 1, Severity: 0}) != nil {
+		t.Fatal("severity 0 must disable injection")
+	}
+	var inj *Injector
+	if inj.Severity() != 0 {
+		t.Fatal("nil injector severity")
+	}
+	if f := inj.OpTimeFactor(3); f != 1 {
+		t.Fatalf("nil injector op factor = %v", f)
+	}
+	if f := inj.TransferFactor(3); f != 1 {
+		t.Fatalf("nil injector transfer factor = %v", f)
+	}
+	if n := inj.SwapFailures(1, 2, DirOut); n != 0 {
+		t.Fatalf("nil injector failures = %d", n)
+	}
+	if ev := inj.CapacityEvents(100, 1<<30); ev != nil {
+		t.Fatalf("nil injector events = %v", ev)
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	a := New(Config{Seed: 42, Severity: 0.5})
+	b := New(Config{Seed: 42, Severity: 0.5})
+	for i := 0; i < 200; i++ {
+		if a.OpTimeFactor(i) != b.OpTimeFactor(i) {
+			t.Fatalf("op factor diverged at %d", i)
+		}
+		if a.TransferFactor(i) != b.TransferFactor(i) {
+			t.Fatalf("transfer factor diverged at %d", i)
+		}
+		if a.SwapFailures(i, i*3, DirIn) != b.SwapFailures(i, i*3, DirIn) {
+			t.Fatalf("failures diverged at %d", i)
+		}
+	}
+	ea, eb := a.CapacityEvents(300, 1<<30), b.CapacityEvents(300, 1<<30)
+	if len(ea) != len(eb) {
+		t.Fatalf("event count diverged: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	// Draws are keyed, not sequential: reading them in a different
+	// order must not change them.
+	c := New(Config{Seed: 42, Severity: 0.5})
+	for i := 199; i >= 0; i-- {
+		if c.OpTimeFactor(i) != a.OpTimeFactor(i) {
+			t.Fatalf("op factor order-dependent at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1, Severity: 0.5})
+	b := New(Config{Seed: 2, Severity: 0.5})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.OpTimeFactor(i) == b.OpTimeFactor(i) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical factors", same)
+	}
+}
+
+func TestFactorRanges(t *testing.T) {
+	for _, sev := range []float64{0.1, 0.5, 1.0} {
+		inj := New(Config{Seed: 7, Severity: sev})
+		for i := 0; i < 500; i++ {
+			if f := inj.OpTimeFactor(i); f < 1-0.5*sev || f >= 1+0.5*sev {
+				t.Fatalf("sev %v: op factor %v out of range at %d", sev, f, i)
+			}
+			if f := inj.TransferFactor(i); f < 1 || f > 1+3*sev {
+				t.Fatalf("sev %v: transfer factor %v out of range at %d", sev, f, i)
+			}
+			if n := inj.SwapFailures(i, i, DirOut); n < 0 || n > MaxSwapRetries {
+				t.Fatalf("sev %v: %d failures at %d", sev, n, i)
+			}
+		}
+	}
+}
+
+func TestSeverityOneExhaustsRetries(t *testing.T) {
+	inj := New(Config{Seed: 3, Severity: 1})
+	for i := 0; i < 50; i++ {
+		if n := inj.SwapFailures(i, i*7, DirOut); n != MaxSwapRetries {
+			t.Fatalf("severity 1 should always exhaust the budget; got %d at %d", n, i)
+		}
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	inj := New(Config{Seed: 5, Severity: 1, Kinds: []Kind{OpNoise}})
+	saw := false
+	for i := 0; i < 100; i++ {
+		if inj.OpTimeFactor(i) != 1 {
+			saw = true
+		}
+		if inj.TransferFactor(i) != 1 {
+			t.Fatal("bandwidth should be filtered out")
+		}
+		if inj.SwapFailures(i, i, DirIn) != 0 {
+			t.Fatal("swap failures should be filtered out")
+		}
+	}
+	if !saw {
+		t.Fatal("op noise should be active")
+	}
+	if ev := inj.CapacityEvents(200, 1<<30); ev != nil {
+		t.Fatal("capacity events should be filtered out")
+	}
+}
+
+func TestCapacityEventsBounded(t *testing.T) {
+	const n, cap = 250, int64(1 << 30)
+	for _, sev := range []float64{0.3, 1.0} {
+		inj := New(Config{Seed: 11, Severity: sev})
+		var total int64
+		for _, ev := range inj.CapacityEvents(n, cap) {
+			if ev.Start < 0 || ev.Start >= n || ev.End <= ev.Start || ev.End > n {
+				t.Fatalf("sev %v: bad window %+v", sev, ev)
+			}
+			if ev.Bytes <= 0 {
+				t.Fatalf("sev %v: empty steal %+v", sev, ev)
+			}
+			total += ev.Bytes
+		}
+		if ceil := int64(float64(cap) * sev * 0.45); total > ceil {
+			t.Fatalf("sev %v: total steal %d exceeds cap %d", sev, total, ceil)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package faults
+
+import "math/rand"
+
+// This file is the module's sanctioned pseudo-randomness site: the
+// clockdet lint rule bans math/rand everywhere else so that no
+// simulation or planning result can depend on an unseeded or global
+// generator. Everything here is explicitly seeded — same Seed, same
+// byte stream — which is what keeps fault injection replayable.
+
+// Source is an explicitly-seeded sequential generator used for the
+// fault schedules that are drawn once per run (capacity-shrink
+// windows). Per-event decisions use the stateless keyed mixer in
+// faults.go instead, so they stay stable when plans and schedules
+// change around them.
+type Source struct {
+	r *rand.Rand
+}
+
+// NewSource returns a deterministic sequential source for a seed.
+func NewSource(seed uint64) *Source {
+	return &Source{r: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }

@@ -13,7 +13,8 @@
 //     package (core, sim, experiments, obs) unless the loop only
 //     collects keys that are subsequently sorted, or only deletes.
 //   - clockdet: any time.Now/Since/... call or math/rand import
-//     outside the injectable-clock allowlist (internal/obs/clock.go).
+//     outside the sanctioned-sites allowlist (internal/obs/clock.go,
+//     internal/faults/rand.go).
 //   - floateq: == / != between floating-point operands in planner
 //     scoring (package core).
 //   - errdrop: call statements that silently discard an error result.

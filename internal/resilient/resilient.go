@@ -1,0 +1,182 @@
+// Package resilient runs the plan → simulate loop with a
+// graceful-degradation ladder for hostile environments: plans are
+// built against a safety-margin-reduced budget, and when the runtime
+// still reports an (injected) OOM the ladder replans at progressively
+// tighter budgets before falling back to the swap-all baseline — the
+// slowest policy that can train almost anything. Training degrades;
+// it does not abort.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+	"tsplit/internal/faults"
+	"tsplit/internal/obs"
+	"tsplit/internal/sim"
+)
+
+// DefaultMargin is the initial SafetyMargin used when faults are
+// enabled and the caller did not choose one: plan as if 10% of the
+// budget already belongs to someone else.
+const DefaultMargin = 0.10
+
+// marginStep separates successive ladder stages.
+const marginStep = 0.10
+
+// Config tunes one resilient run.
+type Config struct {
+	// Faults selects the injected environment (Severity <= 0: none).
+	Faults faults.Config
+	// SafetyMargin is the first rung's planning margin (0 with faults
+	// enabled: DefaultMargin).
+	SafetyMargin float64
+	// Margins overrides the ladder's margin sequence (nil: initial,
+	// +0.10, +0.20).
+	Margins []float64
+	// Capacity overrides the device memory budget (0 = device).
+	Capacity int64
+	// Planner seeds the planner options of every rung (Capacity,
+	// SafetyMargin, Obs, and CollectReport are overridden per rung).
+	Planner core.Options
+	// Sim seeds the runtime options of every rung (Capacity, Faults,
+	// and Obs are overridden).
+	Sim sim.Options
+	// CollectReport attaches a PlanReport to the outcome.
+	CollectReport bool
+	// Obs receives planner, runtime, and ladder metrics.
+	Obs obs.Recorder
+}
+
+// Stage records one ladder rung: a planning + execution attempt.
+type Stage struct {
+	// Kind is "plan" (first rung), "replan" (escalated margin), or
+	// "swap-all" (final fallback).
+	Kind string
+	// Margin is the rung's SafetyMargin (0 for swap-all).
+	Margin float64
+	// Err is why the rung failed; empty for the rung that succeeded.
+	Err string
+}
+
+// Outcome is the result of a resilient run: the plan and measurements
+// of the first rung that survived, plus the ladder trail.
+type Outcome struct {
+	Plan   *core.Plan
+	Result sim.Result
+	Report *core.PlanReport
+	// Stages lists every rung attempted, in order; the last entry is
+	// the one that succeeded.
+	Stages []Stage
+	// Degraded reports whether any rung failed before one survived.
+	Degraded bool
+}
+
+// degradations renders the failed rungs for PlanReport.Degradations.
+func (o *Outcome) degradations() []string {
+	var out []string
+	for _, st := range o.Stages {
+		if st.Err != "" {
+			out = append(out, fmt.Sprintf("%s margin=%.2f: %s", st.Kind, st.Margin, st.Err))
+		}
+	}
+	return out
+}
+
+// Run plans and executes a workload under the configured fault
+// environment, descending the degradation ladder as needed. It
+// returns an error only when even the swap-all fallback cannot train
+// the configuration — a genuine capacity wall, not a transient.
+func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
+	inj := faults.New(cfg.Faults)
+	m0 := cfg.SafetyMargin
+	if m0 <= 0 && inj != nil {
+		m0 = DefaultMargin
+	}
+	margins := cfg.Margins
+	if margins == nil {
+		margins = []float64{m0, m0 + marginStep, m0 + 2*marginStep}
+	}
+
+	var out Outcome
+	if cfg.Obs != nil {
+		cfg.Obs.Add("tsplit_resilient_runs_total", 1)
+	}
+	fail := func(kind string, margin float64, err error) {
+		out.Stages = append(out.Stages, Stage{Kind: kind, Margin: margin, Err: err.Error()})
+		out.Degraded = true
+		if cfg.Obs != nil {
+			cfg.Obs.Add("tsplit_resilient_degraded_total", 1, obs.L("stage", kind))
+		}
+	}
+
+	for i, m := range margins {
+		kind := "plan"
+		if i > 0 {
+			kind = "replan"
+		}
+		popts := cfg.Planner
+		popts.Capacity = cfg.Capacity
+		popts.SafetyMargin = m
+		popts.Obs = cfg.Obs
+		popts.CollectReport = cfg.CollectReport
+		pl := core.NewPlanner(in.G, in.Sched, in.Lv, in.Prof, in.Dev, popts)
+		plan, err := pl.Plan()
+		if err != nil {
+			// Infeasible at this margin: tighter margins only shrink the
+			// budget further. Go straight to the fallback.
+			fail(kind, m, err)
+			break
+		}
+		res, rerr := runSim(in, plan, cfg, inj)
+		if rerr == nil {
+			out.Plan, out.Result, out.Report = plan, res, pl.Report()
+			out.Stages = append(out.Stages, Stage{Kind: kind, Margin: m})
+			if out.Report != nil {
+				out.Report.Degradations = out.degradations()
+			}
+			return out, nil
+		}
+		if !errors.Is(rerr, sim.ErrOOM) {
+			return out, rerr
+		}
+		fail(kind, m, rerr)
+	}
+
+	// Final rung: the swap-all baseline trades throughput for the
+	// smallest working set any policy here can offer.
+	plan, err := baselines.VDNNAll(in)
+	if err != nil {
+		return out, fmt.Errorf("resilient: swap-all fallback: %w", err)
+	}
+	res, rerr := runSim(in, plan, cfg, inj)
+	if rerr != nil {
+		if cfg.Obs != nil {
+			cfg.Obs.Add("tsplit_resilient_aborts_total", 1)
+		}
+		return out, fmt.Errorf("resilient: swap-all fallback: %w", rerr)
+	}
+	out.Plan, out.Result = plan, res
+	out.Stages = append(out.Stages, Stage{Kind: "swap-all"})
+	if cfg.CollectReport {
+		out.Report = &core.PlanReport{
+			Policy:       plan.Name,
+			Device:       in.Dev.Name,
+			Degradations: out.degradations(),
+		}
+	}
+	return out, nil
+}
+
+// runSim executes one rung's plan under the shared injector. The
+// injector's per-event draws are keyed by event identity, not by draw
+// order, so every rung faces the same environment.
+func runSim(in baselines.Inputs, plan *core.Plan, cfg Config, inj *faults.Injector) (sim.Result, error) {
+	sopts := cfg.Sim
+	sopts.Capacity = cfg.Capacity
+	sopts.Faults = inj
+	sopts.Obs = cfg.Obs
+	return sim.New(in.G, in.Sched, in.Lv, plan, in.Dev, sopts).Run()
+}

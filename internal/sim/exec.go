@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tsplit/internal/core"
+	"tsplit/internal/faults"
 	"tsplit/internal/graph"
 	"tsplit/internal/memorypool"
 	"tsplit/internal/tensor"
@@ -26,6 +27,10 @@ func (s *Simulator) run() (Result, error) {
 	}
 	var pureCompute float64
 	for i, op := range s.Sched.Ops {
+		s.curOp = i
+		if err := s.applyFaultWindows(i); err != nil {
+			return s.res, err
+		}
 		for _, t := range s.prefetch[i] {
 			if err := s.startSwapIn(t, s.tc); err != nil {
 				return s.res, err
@@ -173,6 +178,14 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 					lb.Offset = no
 				}
 			}
+			for k := range s.hogs {
+				if !s.hogs[k].held {
+					continue
+				}
+				if no, ok := remap[s.hogs[k].blk.Offset]; ok {
+					s.hogs[k].blk.Offset = no
+				}
+			}
 			cost := 2 * float64(moved) / s.Dev.MemBandwidth // read + write
 			s.tc += cost
 			at += cost
@@ -203,7 +216,8 @@ func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool
 		if at > start {
 			start = at
 		}
-		dur := s.transfer(t.Bytes())
+		dur := s.xfer(t.Bytes())
+		start += s.retryPenalty(t, faults.DirOut, dur)
 		s.td = start + dur
 		s.res.D2HBusy += dur
 		s.res.SwapOutBytes += t.Bytes()
@@ -234,7 +248,8 @@ func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
 	if ready > start {
 		start = ready
 	}
-	dur := s.transfer(t.Bytes())
+	dur := s.xfer(t.Bytes())
+	start += s.retryPenalty(t, faults.DirIn, dur)
 	s.th = start + dur
 	s.res.H2DBusy += dur
 	s.res.SwapInBytes += t.Bytes()
@@ -324,7 +339,7 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 		start = ready
 	}
 	s.chargeStall(start, readyIn)
-	dur := s.opDuration(op)
+	dur := s.noisy(i, s.opDuration(op))
 	end := start + dur
 	s.tc = end
 	s.res.ComputeTime += dur
@@ -340,7 +355,7 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 		// Updated parameters return to the device for the next
 		// iteration; the copy overlaps the remaining backward pass.
 		p := op.Inputs[0]
-		dur := s.transfer(p.Bytes())
+		dur := s.xfer(p.Bytes())
 		s.th += dur
 		s.res.H2DBusy += dur
 		s.res.SwapInBytes += p.Bytes()

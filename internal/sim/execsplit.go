@@ -91,6 +91,13 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		// the batch statistics before normalizing each micro-tensor.
 		perPart += float64(in.Bytes()) / float64(pn) / s.Dev.MemBandwidth
 	}
+	if s.noise != nil {
+		// The same misprediction factor applies to every micro-op of
+		// the split (they are the same kernel on smaller tensors).
+		np := perPart * s.noise[i]
+		s.res.Faults.OpNoiseSeconds += (np - perPart) * float64(pn)
+		perPart = np
+	}
 
 	var wsBlock *memorypool.Block
 	if ws := op.Workspace / int64(pn); ws > 0 {
@@ -203,7 +210,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			if kready > start {
 				start = kready
 			}
-			dur := s.transfer(part)
+			dur := s.xfer(part)
 			s.th = start + dur
 			s.res.H2DBusy += dur
 			s.res.SwapInBytes += part
@@ -267,7 +274,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 				if end > ds {
 					ds = end
 				}
-				dur := s.transfer(blk.Size)
+				dur := s.xfer(blk.Size)
 				s.td = ds + dur
 				s.res.D2HBusy += dur
 				s.res.SwapOutBytes += blk.Size
@@ -291,7 +298,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			if end > ds {
 				ds = end
 			}
-			dur := s.transfer(outSize(k))
+			dur := s.xfer(outSize(k))
 			s.td = ds + dur
 			s.res.D2HBusy += dur
 			s.res.SwapOutBytes += outSize(k)

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"tsplit/internal/faults"
+	"tsplit/internal/graph"
+)
+
+// This file holds the runtime's fault-injection hooks. Every hook is
+// a cheap no-op when Options.Faults is nil, and every perturbation is
+// a pure function of (fault seed, severity, event identity), so a run
+// with the same injector replays byte for byte.
+
+// xfer returns the PCIe seconds for a byte count at the current
+// schedule position, applying the injected bandwidth-degradation
+// window in effect (if any) and accounting the added latency.
+func (s *Simulator) xfer(b int64) float64 {
+	d := float64(b) / s.Dev.PCIeBandwidth
+	if s.bwMul == nil {
+		return d
+	}
+	if m := s.bwMul[s.curOp]; m > 1 {
+		s.res.Faults.BandwidthEvents++
+		s.res.Faults.BandwidthExtraSeconds += d * (m - 1)
+		d *= m
+	}
+	return d
+}
+
+// noisy applies the injected compute-time misprediction factor of
+// schedule index idx to a duration and accounts the delta.
+func (s *Simulator) noisy(idx int, dur float64) float64 {
+	if s.noise == nil {
+		return dur
+	}
+	nd := dur * s.noise[idx]
+	s.res.Faults.OpNoiseSeconds += nd - dur
+	return nd
+}
+
+// retryPenalty models transient failures of the transfer of t at the
+// current schedule position: each failed attempt occupies the link
+// for the transfer duration and then backs off exponentially
+// (BackoffBase, doubling). After MaxSwapRetries failures the link is
+// reset and the final attempt succeeds — transients degrade, they
+// never abort. Returns the total latency to add before the
+// successful transfer starts.
+func (s *Simulator) retryPenalty(t *graph.Tensor, dir int, dur float64) float64 {
+	if s.inj == nil {
+		return 0
+	}
+	fails := s.inj.SwapFailures(t.ID, s.curOp, dir)
+	if fails == 0 {
+		return 0
+	}
+	var pen float64
+	backoff := faults.BackoffBase
+	for a := 0; a < fails; a++ {
+		pen += dur + backoff
+		backoff *= 2
+	}
+	s.res.Faults.SwapRetries += fails
+	s.res.Faults.SwapRetrySeconds += pen
+	if fails >= faults.MaxSwapRetries {
+		s.res.Faults.SwapExhausted++
+	}
+	return pen
+}
+
+// applyFaultWindows opens and closes injected capacity-shrink windows
+// at schedule index i: expired windows release their phantom block,
+// opening windows allocate one through the normal allocWait path (so
+// the steal exerts real pressure — evictions, compaction, and, when
+// nothing can give, an injected OOM that trips the degradation
+// ladder upstream).
+func (s *Simulator) applyFaultWindows(i int) error {
+	for k := range s.hogs {
+		h := &s.hogs[k]
+		if h.held && h.ev.End <= i {
+			s.pool.FreeBlock(h.blk)
+			h.held = false
+		}
+	}
+	for k := range s.hogs {
+		h := &s.hogs[k]
+		if h.held || i < h.ev.Start || i >= h.ev.End {
+			continue
+		}
+		blk, _, err := s.allocWait(h.ev.Bytes, s.tc)
+		if err != nil {
+			return fmt.Errorf("injected capacity shrink of %d bytes at op %d: %w", h.ev.Bytes, i, err)
+		}
+		h.blk, h.held = blk, true
+		s.res.Faults.CapacityEvents++
+	}
+	return nil
+}

@@ -49,4 +49,15 @@ func (s *Simulator) observe(err error) {
 	rec.Set("tsplit_sim_peak_bytes", float64(r.PeakBytes))
 	rec.Set("tsplit_sim_pcie_utilization", r.PCIeUtilization)
 	rec.Set("tsplit_sim_pool_fragmentation_bytes", float64(s.fragBytes()))
+	if s.inj != nil {
+		f := r.Faults
+		rec.Add("tsplit_sim_faults_injected_total", int64(f.BandwidthEvents), obs.L("kind", "bandwidth"))
+		rec.Add("tsplit_sim_faults_injected_total", int64(f.SwapRetries), obs.L("kind", "swap-retry"))
+		rec.Add("tsplit_sim_faults_injected_total", int64(f.SwapExhausted), obs.L("kind", "swap-exhausted"))
+		rec.Add("tsplit_sim_faults_injected_total", int64(f.CapacityEvents), obs.L("kind", "capacity-shrink"))
+		rec.Add("tsplit_sim_stall_microseconds_total", usec(f.SwapRetrySeconds), obs.L("cause", "fault-retry"))
+		rec.Add("tsplit_sim_stall_microseconds_total", usec(f.BandwidthExtraSeconds), obs.L("cause", "fault-bandwidth"))
+		// Noise can run either direction; a gauge, not a counter.
+		rec.Set("tsplit_sim_fault_noise_seconds", f.OpNoiseSeconds)
+	}
 }

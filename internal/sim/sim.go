@@ -24,6 +24,7 @@ import (
 	"tsplit/internal/core"
 	"tsplit/internal/costmodel"
 	"tsplit/internal/device"
+	"tsplit/internal/faults"
 	"tsplit/internal/graph"
 	"tsplit/internal/memorypool"
 	"tsplit/internal/obs"
@@ -75,6 +76,32 @@ type Options struct {
 	// swap volumes, pool health). Nil disables all observation at zero
 	// cost.
 	Obs obs.Recorder
+	// Faults injects a deterministic hostile environment (op-time
+	// noise, PCIe degradation, transient transfer failures, capacity
+	// shrink). Nil disables injection at zero cost.
+	Faults *faults.Injector
+}
+
+// FaultStats aggregates the injected-fault activity of one run (zero
+// unless Options.Faults is set).
+type FaultStats struct {
+	// OpNoiseSeconds is compute time added (negative: removed) by
+	// op-time misprediction noise.
+	OpNoiseSeconds float64
+	// BandwidthEvents counts transfers that hit a degraded-PCIe
+	// window; BandwidthExtraSeconds is the latency those windows added.
+	BandwidthEvents       int
+	BandwidthExtraSeconds float64
+	// SwapRetries counts transient transfer failures that were
+	// retried, SwapRetrySeconds the total retry + backoff latency, and
+	// SwapExhausted the transfers that burned the whole retry budget
+	// before the link reset let them through.
+	SwapRetries      int
+	SwapRetrySeconds float64
+	SwapExhausted    int
+	// CapacityEvents counts co-located-job windows that held pool
+	// memory during the run.
+	CapacityEvents int
 }
 
 // Result is the outcome of simulating one training iteration.
@@ -114,6 +141,10 @@ type Result struct {
 	MovedBytes  int64
 	// RecomputeTime is compute time spent on regeneration.
 	RecomputeTime float64
+	// Faults summarizes injected-fault activity (Options.Faults). Note
+	// that PeakBytes includes memory held by injected capacity-shrink
+	// events: the pool pressure the plan actually ran under.
+	Faults FaultStats
 	// Timeline holds (per schedule step) the pool usage after the op
 	// issued, when CollectTimeline is set.
 	Timeline []TimelinePoint
@@ -226,7 +257,25 @@ type Simulator struct {
 	// stop pathological thrash).
 	compactions int
 
+	// Fault-injection state (nil/empty without Options.Faults): the
+	// injector, the schedule position the executor is at, per-op
+	// compute-noise factors, per-op transfer-time multipliers, and the
+	// capacity-shrink windows with their held pool blocks.
+	inj   *faults.Injector
+	curOp int
+	noise []float64
+	bwMul []float64
+	hogs  []hogEvent
+
 	res Result
+}
+
+// hogEvent is one injected capacity-shrink window and the phantom
+// co-located-job block it holds while active.
+type hogEvent struct {
+	ev   faults.CapacityEvent
+	blk  memorypool.Block
+	held bool
 }
 
 // maxCompactions bounds defragmentation passes per iteration.
@@ -284,6 +333,21 @@ func (s *Simulator) reset() {
 	s.pending = nil
 	heap.Init(&s.pending)
 	s.res = Result{}
+	s.inj = s.Opts.Faults
+	s.curOp = 0
+	s.noise, s.bwMul, s.hogs = nil, nil, nil
+	if s.inj != nil {
+		n := len(s.Sched.Ops)
+		s.noise = make([]float64, n)
+		s.bwMul = make([]float64, n)
+		for i := 0; i < n; i++ {
+			s.noise[i] = s.inj.OpTimeFactor(i)
+			s.bwMul[i] = s.inj.TransferFactor(i)
+		}
+		for _, ev := range s.inj.CapacityEvents(n, s.Opts.Capacity) {
+			s.hogs = append(s.hogs, hogEvent{ev: ev})
+		}
+	}
 	s.prefetch = make(map[int][]*graph.Tensor)
 	// Iterate the plan in tensor-ID order so prefetches sharing a
 	// schedule point are issued deterministically (Plan.Tensors is a

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"tsplit/internal/graph"
+	"tsplit/internal/nn"
+	"tsplit/internal/tensor"
+)
+
+// RandGraph generates a random but well-formed training graph from a
+// seed: a convolutional trunk whose stages are drawn from linear
+// (conv/norm/pool), branchy (channel-concat fan-in), and diamond
+// (residual add) topologies, with varied batch sizes, spatial extents,
+// and channel widths, finished by a dense head with a cross-entropy
+// loss and a full backward pass. Same seed, same graph — the
+// generator draws only from the deterministic nn.RNG — which makes it
+// usable from property tests and fuzz seeds alike.
+func RandGraph(seed uint64) *graph.Graph {
+	r := nn.NewRNG(seed)
+	g := graph.New()
+
+	batch := 2 << r.Intn(3) // 2, 4, 8
+	side := []int{8, 12, 16}[r.Intn(3)]
+	channels := 1 + r.Intn(4)
+
+	images := g.Input("images", tensor.NewShape(batch, channels, side, side), tensor.Float32)
+	labels := g.Input("labels", tensor.NewShape(batch), tensor.Int32)
+
+	x := images
+	width := channels
+	depth := 4 + r.Intn(10)
+	for s := 0; s < depth; s++ {
+		nm := func(op string) string { return fmt.Sprintf("s%d.%s", s, op) }
+		switch r.Intn(5) {
+		case 0: // linear: conv (+ optional norm) + relu
+			width = 4 + r.Intn(29)
+			x = g.Conv2D(nm("conv"), x, width, 3, 1, 1)
+			if r.Intn(2) == 0 {
+				x = g.BatchNorm(nm("bn"), x)
+			}
+			x = g.ReLU(nm("relu"), x)
+		case 1: // downsample when the spatial extent allows it
+			if side >= 4 && side%2 == 0 {
+				if r.Intn(2) == 0 {
+					x = g.MaxPool(nm("maxpool"), x, 2, 2, 0)
+				} else {
+					x = g.AvgPool(nm("avgpool"), x, 2, 2, 0)
+				}
+				side /= 2
+			} else {
+				x = g.ReLU(nm("relu"), g.Conv2D(nm("conv"), x, width, 3, 1, 1))
+			}
+		case 2: // diamond: two conv branches merged by a residual add
+			a := g.ReLU(nm("a.relu"), g.Conv2D(nm("a.conv"), x, width, 3, 1, 1))
+			b := g.Conv2D(nm("b.conv"), x, width, 3, 1, 1)
+			x = g.Add(nm("add"), a, b)
+		case 3: // branchy: channel-concat fan-in of uneven branches
+			ca, cb := 4+r.Intn(13), 4+r.Intn(13)
+			a := g.Conv2D(nm("a.conv"), x, ca, 3, 1, 1)
+			b := g.ReLU(nm("b.relu"), g.Conv2D(nm("b.conv"), x, cb, 3, 1, 1))
+			x = g.Concat(nm("concat"), 1, a, b)
+			width = ca + cb
+		default: // regularization
+			x = g.Dropout(nm("dropout"), x, 0.9)
+		}
+	}
+
+	flat := g.Reshape("flat", x, tensor.NewShape(batch, width*side*side))
+	h := g.ReLU("fc1.relu", g.Dense("fc1", flat, 16+r.Intn(49)))
+	logits := g.Dense("fc2", h, 2+r.Intn(7))
+	g.CrossEntropyLoss("loss", logits, labels)
+	if err := g.Differentiate(graph.Momentum); err != nil {
+		// The builders above only compose shape-compatible stages; a
+		// differentiation failure is a generator bug, not bad luck.
+		panic(fmt.Sprintf("workload: RandGraph(%d): %v", seed, err))
+	}
+	return g
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tsplit/internal/graph"
+)
+
+// signature fingerprints a generated graph: op names in schedule
+// order plus total tensor bytes.
+func signature(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	sched, err := graph.BuildSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, op := range sched.Ops {
+		b.WriteString(op.Name)
+		b.WriteByte(';')
+	}
+	var bytes int64
+	for _, tn := range g.Tensors {
+		bytes += tn.Bytes()
+	}
+	fmt.Fprintf(&b, "|%d", bytes)
+	return b.String()
+}
+
+func TestRandGraphDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a, b := RandGraph(seed), RandGraph(seed)
+		if signature(t, a) != signature(t, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestRandGraphWellFormedAndVaried(t *testing.T) {
+	var adds, concats, pools int
+	sigs := map[string]bool{}
+	for seed := uint64(0); seed < 40; seed++ {
+		g := RandGraph(seed)
+		sched, err := graph.BuildSchedule(g)
+		if err != nil {
+			t.Fatalf("seed %d: schedule: %v", seed, err)
+		}
+		lv := graph.AnalyzeLiveness(g, sched)
+		if lv.Peak <= 0 {
+			t.Fatalf("seed %d: zero peak", seed)
+		}
+		for _, op := range sched.Ops {
+			switch {
+			case strings.HasSuffix(op.Name, ".add"):
+				adds++
+			case strings.HasSuffix(op.Name, ".concat"):
+				concats++
+			case strings.Contains(op.Name, "pool"):
+				pools++
+			}
+		}
+		sigs[signature(t, g)] = true
+	}
+	if adds == 0 || concats == 0 || pools == 0 {
+		t.Fatalf("topology variety missing: adds=%d concats=%d pools=%d", adds, concats, pools)
+	}
+	if len(sigs) < 35 {
+		t.Fatalf("only %d distinct graphs from 40 seeds", len(sigs))
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Coverage gate for the planner core and the runtime simulator — the
+# two packages whose correctness the differential and fault-injection
+# test layers lean on. Fails when either package's statement coverage
+# drops below the floor.
+set -eu
+
+GO=${GO:-go}
+FLOOR=80.0
+
+fail=0
+for pkg in ./internal/core ./internal/sim; do
+	profile=$(mktemp)
+	"$GO" test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
+	total=$("$GO" tool cover -func="$profile" | awk 'END {gsub(/%/, "", $NF); print $NF}')
+	rm -f "$profile"
+	ok=$(awk -v t="$total" -v f="$FLOOR" 'BEGIN {print (t >= f) ? 1 : 0}')
+	if [ "$ok" = 1 ]; then
+		echo "cover: $pkg $total% (floor $FLOOR%)"
+	else
+		echo "cover: $pkg $total% is below the $FLOOR% floor" >&2
+		fail=1
+	fi
+done
+exit $fail

@@ -36,10 +36,12 @@ import (
 	"tsplit/internal/baselines"
 	"tsplit/internal/core"
 	"tsplit/internal/device"
+	"tsplit/internal/faults"
 	"tsplit/internal/graph"
 	"tsplit/internal/models"
 	"tsplit/internal/obs"
 	"tsplit/internal/profiler"
+	"tsplit/internal/resilient"
 	"tsplit/internal/sim"
 )
 
@@ -69,7 +71,17 @@ type (
 	PlanReport = core.PlanReport
 	// Violation is one broken plan invariant found by VerifyPlan.
 	Violation = core.Violation
+	// FaultConfig selects a deterministic fault-injection environment
+	// (seed, severity, fault classes) for RunResilient.
+	FaultConfig = faults.Config
+	// ResilientOutcome is the result of a RunResilient call: the plan
+	// and measurements of the degradation-ladder rung that survived,
+	// plus the ladder trail.
+	ResilientOutcome = resilient.Outcome
 )
+
+// DefaultFaultSeverity is the documented default for fault injection.
+const DefaultFaultSeverity = faults.DefaultSeverity
 
 // NewRegistry returns an empty metrics Registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
@@ -100,6 +112,9 @@ type PlanOptions struct {
 	DisableSplit bool
 	// PNums overrides the split-count search space.
 	PNums []int
+	// SafetyMargin plans against a budget reduced by this fraction,
+	// reserving headroom for co-located jobs (see RunResilient).
+	SafetyMargin float64
 	// Observe receives planner metrics (nil = none).
 	Observe Recorder
 }
@@ -153,6 +168,7 @@ func (w *Workload) Plan(opts PlanOptions) (*Plan, error) {
 		Capacity:     opts.CapacityBytes,
 		DisableSplit: opts.DisableSplit,
 		PNums:        opts.PNums,
+		SafetyMargin: opts.SafetyMargin,
 		Obs:          opts.Observe,
 	})
 	return pl.Plan()
@@ -165,6 +181,7 @@ func (w *Workload) PlanWithReport(opts PlanOptions) (*Plan, *PlanReport, error) 
 		Capacity:      opts.CapacityBytes,
 		DisableSplit:  opts.DisableSplit,
 		PNums:         opts.PNums,
+		SafetyMargin:  opts.SafetyMargin,
 		Obs:           opts.Observe,
 		CollectReport: true,
 	})
@@ -240,7 +257,11 @@ func (w *Workload) Run(plan *Plan, opts ...RunOption) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	ideal := w.Prof.Total()
+	return w.report(res), nil
+}
+
+// report summarizes a raw simulation result.
+func (w *Workload) report(res SimResult) Report {
 	r := Report{
 		Throughput:       res.Throughput(w.Cfg.BatchSize),
 		IterationSeconds: res.Time,
@@ -250,10 +271,41 @@ func (w *Workload) Run(plan *Plan, opts ...RunOption) (Report, error) {
 		RecomputedOps:    res.RecomputedOps,
 		Raw:              res,
 	}
-	if ideal > 0 {
+	if ideal := w.Prof.Total(); ideal > 0 {
 		r.Overhead = (res.Time - ideal) / ideal
 	}
-	return r, nil
+	return r
+}
+
+// RunResilient plans and simulates one iteration under an injected
+// fault environment (op-time misprediction, PCIe degradation,
+// transient transfer failures, capacity shrink) with the
+// graceful-degradation ladder: plan at a safety margin, replan at
+// tighter budgets on injected OOM, and fall back to the swap-all
+// baseline before ever aborting. The outcome records every ladder
+// rung attempted; the report summarizes the surviving rung's run.
+func (w *Workload) RunResilient(po PlanOptions, fc FaultConfig, opts ...RunOption) (ResilientOutcome, Report, error) {
+	so := sim.Options{Recompute: sim.LRURecompute}
+	for _, o := range opts {
+		o(&so)
+	}
+	rec := po.Observe
+	if rec == nil {
+		rec = so.Obs // Observe() RunOption covers the whole ladder
+	}
+	out, err := resilient.Run(baselines.Inputs{G: w.G, Sched: w.Sched, Lv: w.Lv, Prof: w.Prof, Dev: w.Dev}, resilient.Config{
+		Faults:        fc,
+		SafetyMargin:  po.SafetyMargin,
+		Capacity:      po.CapacityBytes,
+		Planner:       core.Options{DisableSplit: po.DisableSplit, PNums: po.PNums},
+		Sim:           so,
+		CollectReport: true,
+		Obs:           rec,
+	})
+	if err != nil {
+		return out, Report{}, err
+	}
+	return out, w.report(out.Result), nil
 }
 
 // AutoPlan runs the full plan → trial-execution → replan loop: when
