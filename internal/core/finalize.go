@@ -125,6 +125,7 @@ func FinalizeWindows(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, 
 			}
 			if b := sum + ws; b > 0 {
 				if chainT == nil {
+					//lint:allow scratchreuse lazy one-shot allocation, taken at most once per finalize
 					chainT = make([]int64, len(sched.Ops))
 				}
 				if b > chainT[u] {

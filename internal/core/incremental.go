@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"errors"
 	"sort"
 
 	"tsplit/internal/graph"
@@ -11,29 +11,84 @@ import (
 // This file holds the planner's incremental machinery: a memory curve
 // kept live across greedy iterations (only the tensors and ops touched
 // by the committed decision are re-applied, instead of re-walking every
-// tensor as MemSim.Curve does), dirty tracking for recompute-chain
-// re-derivation, and a reusable chain walker that the scoring worker
-// pool can run without per-call allocations. The serial reference path
-// (Options.Serial) bypasses all of it and the two paths must produce
-// byte-identical plans — see TestPlannerSerialParallelEquivalence and
+// tensor as MemSim.Curve does), a resumable first-over-capacity scan,
+// dirty tracking for recompute-chain re-derivation, and a reusable
+// chain walker that scoring can run without per-call allocations. The
+// serial reference path (Options.Serial) bypasses all of it and the two
+// paths must produce byte-identical plans — see
+// TestPlannerSerialParallelEquivalence and
 // TestIncrementalCurveMatchesFullRebuild.
+//
+// Everything here is pooled: a planner can Reset() and re-Plan()
+// without reallocating any of it (see arena lifecycle, DESIGN.md §7).
 
-// memCurve maintains MemSim.Curve's diff array incrementally. The
-// delta array carries every tensor's residency spans and recompute
-// chain-transient charges; adj carries the per-schedule-index op
-// footprint adjustment (workspace, or the split footprint delta).
-// applied remembers, per tensor ID, the contributions currently folded
-// into delta so a plan change can subtract exactly what was added.
+// curveBlockShift sizes the memory curve's block decomposition (32
+// slots): a span update costs O(B + span/B) and the first-over-capacity
+// scan skips whole under-capacity blocks in O(1) each. Small blocks
+// favor the many short write-through edges over the rarer full scans.
+const curveBlockShift = 5
+
+// memCurve maintains MemSim.Curve's M_i array incrementally, block
+// decomposed: the true memory at op u is memAt[u] + blockAdd[u>>shift].
+// A tensor's residency spans and chain-transient charges are applied as
+// range adds — written through at the partial edge blocks, folded into
+// blockAdd for fully covered blocks — so a commit costs O(B + span/B)
+// instead of an O(n) prefix-sum rebuild, and rawMax (the per-block max
+// of memAt, excluding blockAdd) lets the bottleneck search skip whole
+// blocks that cannot be over capacity. All arithmetic is int64, so the
+// decomposition is exact: regrouping integer additions cannot change
+// any value (TestIncrementalCurveMatchesFullRebuild pins this against
+// the from-scratch rebuild).
+//
+// applied remembers, per tensor ID, the spans currently charged so a
+// plan change can subtract exactly what was added; adj carries the
+// per-schedule-index op footprint adjustment (workspace, or the split
+// footprint delta), folded directly into memAt.
 type memCurve struct {
 	ms   *MemSim
 	plan *Plan
 	n    int
-	// delta[i] accumulates alloc(+)/free(-) transitions at op i.
-	delta []int64
-	adj   []int64
-	memAt []int64
-	// applied[id] is the span set currently charged for tensor id.
+	// memAt[u] + blockAdd[u>>curveBlockShift] is the memory in use
+	// while op u executes.
+	memAt    []int64
+	blockAdd []int64
+	// rawMax[b] is an UPPER BOUND on max(memAt[u]) over block b (the
+	// block's true max is bounded by rawMax[b] + blockAdd[b]): additions
+	// raise it exactly in O(1), subtractions leave it stale rather than
+	// pay an O(B) recompute per span edge. An overestimate only costs
+	// the bottleneck search a wasted block walk (it checks exact values
+	// inside); it can never hide a bottleneck or inflate the reported
+	// peak, because scan() recomputes the bound exactly and the search
+	// re-tightens any block it walks in full.
+	rawMax []int64
+	adj    []int64
+	// applied[id] is the span set currently charged for tensor id; its
+	// backing array is reused across updates and across Plan() calls.
 	applied [][]span
+
+	// Pristine (empty-plan) snapshot for O(n) reset between Plan()
+	// calls on a pooled planner.
+	memAt0  []int64
+	rawMax0 []int64
+	adj0    []int64
+	// changedIDs lists tensors whose applied spans diverged from the
+	// pristine state since the last reset.
+	changedIDs  []int32
+	changedMark []bool
+
+	// look, when non-nil, answers plan-entry lookups from the owning
+	// planner's tpMirror arrays instead of the plan.Tensors map — same
+	// answers, no hashing. Standalone curves (tests, cold rebuilds)
+	// leave it nil and fall back to the map.
+	look func(id int) (TensorPlan, bool)
+
+	// minInc is the lowest index where memory may have *increased*
+	// since the last bottleneck search returned — the resume point of
+	// the first-over-capacity scan. Decreases (the usual effect of a
+	// committed decision) cannot push an earlier position over capacity,
+	// so the search may skip everything below min(prevBottleneck,
+	// minInc).
+	minInc int
 }
 
 // newMemCurve builds the curve for the plan's current state (normally
@@ -41,78 +96,279 @@ type memCurve struct {
 // only full pass the incremental path ever performs.
 func newMemCurve(ms *MemSim, p *Plan, maxTensorID int) *memCurve {
 	n := len(ms.Sched.Ops)
+	nBlocks := (n + (1 << curveBlockShift) - 1) >> curveBlockShift
 	c := &memCurve{
 		ms: ms, plan: p, n: n,
-		delta:   make([]int64, n+1),
-		adj:     make([]int64, n),
-		memAt:   make([]int64, n),
-		applied: make([][]span, maxTensorID+1),
+		memAt:       make([]int64, n),
+		blockAdd:    make([]int64, nBlocks),
+		rawMax:      make([]int64, nBlocks),
+		adj:         make([]int64, n),
+		applied:     make([][]span, maxTensorID+1),
+		changedMark: make([]bool, maxTensorID+1),
 	}
 	for i, op := range ms.Sched.Ops {
 		c.adj[i] = ms.opFootprintAdjustment(op, p)
 	}
+	delta := make([]int64, n+1)
 	for _, t := range ms.G.Tensors {
-		c.add(t)
+		spans := c.contributionsInto(t, nil)
+		for _, iv := range spans {
+			delta[iv.a] += iv.bytes
+			delta[iv.b+1] -= iv.bytes
+		}
+		c.applied[t.ID] = spans
 	}
+	var run int64
+	for u := 0; u < n; u++ {
+		run += delta[u]
+		c.memAt[u] = run + c.adj[u]
+	}
+	for b := range c.rawMax {
+		c.fixMax(b)
+	}
+	c.memAt0 = append([]int64(nil), c.memAt...)
+	c.rawMax0 = append([]int64(nil), c.rawMax...)
+	c.adj0 = append([]int64(nil), c.adj...)
+	c.minInc = n + 1
 	return c
 }
 
-// contributions returns tensor t's delta-array charges under the
-// current plan: its residency spans plus, for a recompute decision
-// with a transient estimate, a point charge at every backward consumer
-// — exactly the per-tensor body of MemSim.Curve.
-func (c *memCurve) contributions(t *graph.Tensor) []span {
-	spans := c.ms.residency(t, c.plan)
-	if tp, ok := c.plan.Tensors[t.ID]; ok && tp.Opt == Recompute && tp.ChainBytes > 0 {
+// reset restores the pristine empty-plan state for a new Plan() call:
+// the materialized arrays are copied back and only tensors whose
+// spans diverged get their applied set recomputed (under the new,
+// empty plan) into their existing backing arrays.
+func (c *memCurve) reset(p *Plan) {
+	c.plan = p
+	copy(c.memAt, c.memAt0)
+	copy(c.rawMax, c.rawMax0)
+	copy(c.adj, c.adj0)
+	for b := range c.blockAdd {
+		c.blockAdd[b] = 0
+	}
+	for _, id := range c.changedIDs {
+		c.changedMark[id] = false
+		t := c.ms.G.Tensors[id]
+		c.applied[id] = c.contributionsInto(t, c.applied[id][:0])
+	}
+	c.changedIDs = c.changedIDs[:0]
+	c.minInc = c.n + 1
+}
+
+// blockEnd returns the last schedule index block b covers.
+func (c *memCurve) blockEnd(b int) int {
+	end := (b+1)<<curveBlockShift - 1
+	if end >= c.n {
+		end = c.n - 1
+	}
+	return end
+}
+
+// fixMax recomputes rawMax[b] exactly.
+func (c *memCurve) fixMax(b int) {
+	lo, hi := b<<curveBlockShift, c.blockEnd(b)
+	m := c.memAt[lo]
+	for u := lo + 1; u <= hi; u++ {
+		if c.memAt[u] > m {
+			m = c.memAt[u]
+		}
+	}
+	c.rawMax[b] = m
+}
+
+// writeThrough adds v to memAt over [lo, hi] within block blk,
+// maintaining the rawMax upper bound: additions raise it to cover the
+// new values; subtractions leave it stale (still an upper bound).
+func (c *memCurve) writeThrough(blk, lo, hi int, v int64) {
+	if v > 0 {
+		m := c.rawMax[blk]
+		for u := lo; u <= hi; u++ {
+			c.memAt[u] += v
+			if c.memAt[u] > m {
+				m = c.memAt[u]
+			}
+		}
+		c.rawMax[blk] = m
+		return
+	}
+	for u := lo; u <= hi; u++ {
+		c.memAt[u] += v
+	}
+}
+
+// rangeAdd adds v to the true curve over [a, b]: write-through on the
+// partial edge blocks, blockAdd on fully covered ones.
+func (c *memCurve) rangeAdd(a, b int, v int64) {
+	if v == 0 || a > b {
+		return
+	}
+	if v > 0 && a < c.minInc {
+		c.minInc = a
+	}
+	ba, bb := a>>curveBlockShift, b>>curveBlockShift
+	if ba == bb {
+		if a == ba<<curveBlockShift && b == c.blockEnd(ba) {
+			c.blockAdd[ba] += v
+			return
+		}
+		c.writeThrough(ba, a, b, v)
+		return
+	}
+	if a == ba<<curveBlockShift {
+		c.blockAdd[ba] += v
+	} else {
+		c.writeThrough(ba, a, c.blockEnd(ba), v)
+	}
+	for blk := ba + 1; blk < bb; blk++ {
+		c.blockAdd[blk] += v
+	}
+	if b == c.blockEnd(bb) {
+		c.blockAdd[bb] += v
+	} else {
+		c.writeThrough(bb, bb<<curveBlockShift, b, v)
+	}
+}
+
+// contributionsInto appends tensor t's delta-array charges under the
+// current plan to buf: its residency spans plus, for a recompute
+// decision with a transient estimate, a point charge at every backward
+// consumer — exactly the per-tensor body of MemSim.Curve.
+func (c *memCurve) contributionsInto(t *graph.Tensor, buf []span) []span {
+	buf = c.ms.residencyInto(t, c.plan, c.look, buf)
+	var tp TensorPlan
+	var ok bool
+	if c.look != nil {
+		tp, ok = c.look(t.ID)
+	} else {
+		tp, ok = c.plan.Tensors[t.ID]
+	}
+	if ok && tp.Opt == Recompute && tp.ChainBytes > 0 {
 		for _, cons := range t.Consumers {
-			if u := c.ms.Sched.Index[cons]; u >= tp.RestoreAt {
-				spans = append(spans, span{u, u, tp.ChainBytes})
+			if u := c.ms.opPos[cons.ID]; u >= tp.RestoreAt {
+				buf = append(buf, span{u, u, tp.ChainBytes})
 			}
 		}
 	}
-	return spans
-}
-
-// add folds t's current contributions into the delta array.
-func (c *memCurve) add(t *graph.Tensor) {
-	spans := c.contributions(t)
-	for _, iv := range spans {
-		c.delta[iv.a] += iv.bytes
-		c.delta[iv.b+1] -= iv.bytes
-	}
-	c.applied[t.ID] = spans
+	return buf
 }
 
 // update re-derives t's contributions after its plan entry changed,
-// subtracting the previously applied spans first.
+// subtracting the previously applied spans first. The old span set is
+// read out before its backing array is reused for the new one.
 func (c *memCurve) update(t *graph.Tensor) {
-	for _, iv := range c.applied[t.ID] {
-		c.delta[iv.a] -= iv.bytes
-		c.delta[iv.b+1] += iv.bytes
+	id := t.ID
+	if !c.changedMark[id] {
+		c.changedMark[id] = true
+		c.changedIDs = append(c.changedIDs, int32(id))
 	}
-	c.add(t)
+	old := c.applied[id]
+	for _, iv := range old {
+		c.rangeAdd(iv.a, iv.b, -iv.bytes)
+	}
+	spans := c.contributionsInto(t, old[:0])
+	for _, iv := range spans {
+		// rangeAdd tracks minInc: added spans are where memory can
+		// increase.
+		c.rangeAdd(iv.a, iv.b, iv.bytes)
+	}
+	c.applied[id] = spans
 }
 
 // setAdj replaces the footprint adjustment of schedule index i (after
 // a split decision changed the op's execution footprint).
-func (c *memCurve) setAdj(i int, v int64) { c.adj[i] = v }
+func (c *memCurve) setAdj(i int, v int64) {
+	if v == c.adj[i] {
+		return
+	}
+	d := v - c.adj[i]
+	c.adj[i] = v
+	c.rangeAdd(i, i, d)
+}
 
-// scan rebuilds memAt from the live delta array — the prefix-sum half
-// of MemSim.Curve, O(schedule length) with no per-tensor work and no
-// allocation. The returned slice is owned by the curve and valid until
-// the next scan.
+// scan materializes the curve (blockAdd pushed down into memAt) and
+// returns it with its peak. The returned slice is owned by the curve
+// and valid until the next mutation.
 func (c *memCurve) scan() (memAt []int64, peak int64, peakIdx int) {
-	var run int64
-	for i := 0; i < c.n; i++ {
-		run += c.delta[i]
-		m := run + c.adj[i]
-		c.memAt[i] = m
+	for b := range c.blockAdd {
+		if add := c.blockAdd[b]; add != 0 {
+			for u, end := b<<curveBlockShift, c.blockEnd(b); u <= end; u++ {
+				c.memAt[u] += add
+			}
+			c.blockAdd[b] = 0
+		}
+		// rawMax is only an upper bound after subtractions; the peak
+		// must be exact, so re-tighten every block here (one O(n) pass,
+		// the same cost the materialize itself pays).
+		c.fixMax(b)
+	}
+	peakBlk := 0
+	for b, m := range c.rawMax {
 		if m > peak {
 			peak = m
-			peakIdx = i
+			peakBlk = b
 		}
 	}
+	for u, end := peakBlk<<curveBlockShift, c.blockEnd(peakBlk); u <= end; u++ {
+		if c.memAt[u] == peak {
+			peakIdx = u
+			break
+		}
+	}
+	c.minInc = c.n + 1
 	return c.memAt, peak, peakIdx
+}
+
+// bottleneck finds the first schedule index over cap, resuming the
+// search from min(prevBtl, minInc): every position below that bound
+// was at or under cap when the previous bottleneck was returned and
+// cannot have grown since (decreases never create earlier bottlenecks;
+// increases are tracked by minInc). Blocks whose true max is at or
+// under cap are skipped in O(1) via rawMax + blockAdd, so an iteration
+// pays O(n/B) plus one block walk instead of an O(n) rescan. Exactness
+// against the full front-to-back scan is pinned by
+// TestBottleneckResumeMatchesFullScan.
+func (c *memCurve) bottleneck(cap int64, prevBtl int) (i int, memAtI int64, found bool) {
+	s := prevBtl
+	if c.minInc < s {
+		s = c.minInc
+	}
+	if s < 0 {
+		s = 0
+	}
+	nBlocks := len(c.blockAdd)
+	for blk := s >> curveBlockShift; blk < nBlocks; blk++ {
+		add := c.blockAdd[blk]
+		if c.rawMax[blk]+add <= cap {
+			continue
+		}
+		lo := blk << curveBlockShift
+		if lo < s {
+			lo = s
+			for u, end := lo, c.blockEnd(blk); u <= end; u++ {
+				if c.memAt[u]+add > cap {
+					c.minInc = c.n + 1
+					return u, c.memAt[u] + add, true
+				}
+			}
+			// The block's max sits below s — positions the resume
+			// invariant already cleared — so the search continues.
+			continue
+		}
+		// Full-block walk with no hit: every slot was visited, so
+		// re-tighten the stale rawMax upper bound for free.
+		m := c.memAt[lo]
+		for u, end := lo, c.blockEnd(blk); u <= end; u++ {
+			if c.memAt[u]+add > cap {
+				c.minInc = c.n + 1
+				return u, c.memAt[u] + add, true
+			}
+			if c.memAt[u] > m {
+				m = c.memAt[u]
+			}
+		}
+		c.rawMax[blk] = m
+	}
+	c.minInc = c.n + 1
+	return 0, 0, false
 }
 
 // chainTracker decides which recompute chains must be re-derived after
@@ -122,39 +378,114 @@ func (c *memCurve) scan() (memAt []int64, peak int64, peakIdx int) {
 // tracker records the queried set per chain owner and marks an owner
 // dirty when any dependency (or the owner itself) changes, so
 // refreshChainsDirty touches exactly the chains the serial
-// refreshChains could have updated.
+// refreshChains could have updated. All state is flat arrays indexed
+// by tensor ID — no maps, no steady-state allocations.
 type chainTracker struct {
-	// deps[owner] is the set of tensor IDs whose availability the
-	// owner's last chain derivation queried.
-	deps  map[int]map[int]struct{}
-	dirty map[int]struct{}
+	// owners lists tensor IDs with a registered dependency set.
+	owners  []int32
+	isOwner []bool
+	// depsOf[owner] is the sorted, deduplicated set of tensor IDs whose
+	// availability the owner's last chain derivation queried.
+	depsOf [][]int32
+	dirty  []bool
+	// dirtyList holds the marked owners (unordered; refreshChainsDirty
+	// sorts before walking).
+	dirtyList []int32
 }
 
-func newChainTracker() *chainTracker {
+func newChainTracker(maxTensorID int) *chainTracker {
 	return &chainTracker{
-		deps:  make(map[int]map[int]struct{}),
-		dirty: make(map[int]struct{}),
+		isOwner: make([]bool, maxTensorID+1),
+		depsOf:  make([][]int32, maxTensorID+1),
+		dirty:   make([]bool, maxTensorID+1),
 	}
+}
+
+func (ct *chainTracker) reset() {
+	for _, id := range ct.owners {
+		ct.isOwner[id] = false
+		ct.depsOf[id] = ct.depsOf[id][:0]
+	}
+	ct.owners = ct.owners[:0]
+	for _, id := range ct.dirtyList {
+		ct.dirty[id] = false
+	}
+	ct.dirtyList = ct.dirtyList[:0]
 }
 
 // markDirty forces re-derivation of owner's chain (used when the owner
 // itself gains or changes a recompute decision).
-func (ct *chainTracker) markDirty(owner int) { ct.dirty[owner] = struct{}{} }
+func (ct *chainTracker) markDirty(owner int) {
+	if !ct.dirty[owner] {
+		ct.dirty[owner] = true
+		ct.dirtyList = append(ct.dirtyList, int32(owner))
+	}
+}
 
 // noteChanged marks every chain that queried tensor id as dirty.
 func (ct *chainTracker) noteChanged(id int) {
-	//lint:allow maporder marking members of a set is commutative; no order-dependent state
-	for owner, ds := range ct.deps {
-		if _, ok := ds[id]; ok {
-			ct.dirty[owner] = struct{}{}
+	for _, owner := range ct.owners {
+		if ct.dirty[owner] {
+			continue
+		}
+		ds := ct.depsOf[owner]
+		lo, hi := 0, len(ds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(ds[mid]) < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ds) && int(ds[lo]) == id {
+			ct.markDirty(int(owner))
 		}
 	}
 }
 
+// setDeps registers owner's queried set (sorted, deduplicated into the
+// owner's pooled backing array).
+func (ct *chainTracker) setDeps(owner int, touched []int32) {
+	if !ct.isOwner[owner] {
+		ct.isOwner[owner] = true
+		ct.owners = append(ct.owners, int32(owner))
+	}
+	ds := ct.depsOf[owner][:0]
+	ds = append(ds, touched...)
+	sortDedupIDs(&ds)
+	ct.depsOf[owner] = ds
+}
+
 // drop forgets an owner that no longer holds a recompute decision.
 func (ct *chainTracker) drop(owner int) {
-	delete(ct.deps, owner)
-	delete(ct.dirty, owner)
+	if ct.isOwner[owner] {
+		ct.isOwner[owner] = false
+		for k, o := range ct.owners {
+			if int(o) == owner {
+				ct.owners = append(ct.owners[:k], ct.owners[k+1:]...)
+				break
+			}
+		}
+		ct.depsOf[owner] = ct.depsOf[owner][:0]
+	}
+}
+
+// sortDedupIDs sorts ids ascending and removes duplicates in place.
+func sortDedupIDs(ids *[]int32) {
+	s := *ids
+	if len(s) < 2 {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	*ids = s[:w]
 }
 
 // availQuery is the allocation-free equivalent of availFn: the
@@ -166,34 +497,44 @@ type availQuery struct {
 }
 
 func (q availQuery) ok(t *graph.Tensor) bool {
-	p := q.pl.plan
+	pl := q.pl
 	switch t.Kind {
 	case tensor.Parameter, tensor.OptState:
-		return !p.ShardParams
+		return !pl.plan.ShardParams
 	case tensor.Input:
-		if tp, ok := p.Tensors[t.ID]; ok && tp.Opt != Reside {
-			return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r
+		if pl.tpSet[t.ID] {
+			if tp := &pl.tpMirror[t.ID]; tp.Opt != Reside {
+				return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r
+			}
 		}
 		return true
 	case tensor.FeatureMap:
-		tp, ok := p.Tensors[t.ID]
-		if !ok || tp.Opt == Reside {
-			return q.pl.genOf[t.ID] <= q.r && q.r <= q.pl.lastOf[t.ID]
+		if !pl.tpSet[t.ID] || pl.tpMirror[t.ID].Opt == Reside {
+			return pl.genOf[t.ID] <= q.r && q.r <= pl.lastOf[t.ID]
 		}
 		// A micro-restored tensor only ever returns in fragments
 		// streamed into its split consumer; chains may not pull it
 		// back whole.
-		return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r && q.r <= q.pl.lastOf[t.ID]
+		tp := &pl.tpMirror[t.ID]
+		return tp.Opt == Swap && tp.MicroRestore <= 1 && tp.RestoreAt <= q.r && q.r <= pl.lastOf[t.ID]
 	default:
 		return false
 	}
 }
 
+// Walk failures are sentinel errors: scoring probes thousands of
+// infeasible chains per plan and a formatted error per probe would
+// dominate the allocation budget. The outcome is only ever used as a
+// feasibility verdict, never surfaced to callers.
+var (
+	errChainNoProducer = errors.New("core: recompute source has no producer and is not available")
+	errChainTooLong    = errors.New("core: recompute chain exceeds the op limit")
+)
+
 // chainWalker is a reusable-scratch implementation of RecomputeChain.
 // The visited set is an epoch-stamped array indexed by op ID and the
 // chain slice is recycled, so a walk allocates nothing; scoring runs
-// hundreds of thousands of walks per plan. Each scoring worker owns
-// one walker.
+// hundreds of thousands of walks per plan.
 type chainWalker struct {
 	seen  []int
 	epoch int
@@ -208,10 +549,11 @@ func newChainWalker(maxOpID int) *chainWalker {
 // walk mirrors RecomputeChain exactly: producers are walked
 // depth-first in input order until every leaf satisfies q, the chain
 // is returned in execution order, and exceeding maxLen distinct ops is
-// an error. When touched is non-nil, every tensor whose availability
-// was queried is recorded in it (the chainTracker dependency set). The
-// returned slice is valid until the next walk.
-func (w *chainWalker) walk(t *graph.Tensor, q availQuery, maxLen int, touched map[int]struct{}) ([]*graph.Op, error) {
+// an error. When touched is non-nil, the ID of every tensor whose
+// availability was queried is appended to it (possibly with
+// duplicates) — the dependency set of the derivation. The returned
+// slice is valid until the next walk.
+func (w *chainWalker) walk(t *graph.Tensor, q availQuery, maxLen int, touched *[]int32) ([]*graph.Op, error) {
 	w.epoch++
 	w.chain = w.chain[:0]
 	w.count = 0
@@ -221,10 +563,10 @@ func (w *chainWalker) walk(t *graph.Tensor, q availQuery, maxLen int, touched ma
 	return w.chain, nil
 }
 
-func (w *chainWalker) visit(x, target *graph.Tensor, q availQuery, maxLen int, touched map[int]struct{}) error {
+func (w *chainWalker) visit(x, target *graph.Tensor, q availQuery, maxLen int, touched *[]int32) error {
 	p := x.Producer
 	if p == nil {
-		return fmt.Errorf("core: recompute source %s has no producer and is not available", x.Name)
+		return errChainNoProducer
 	}
 	if w.seen[p.ID] == w.epoch {
 		return nil
@@ -232,11 +574,11 @@ func (w *chainWalker) visit(x, target *graph.Tensor, q availQuery, maxLen int, t
 	w.seen[p.ID] = w.epoch
 	w.count++
 	if w.count > maxLen {
-		return fmt.Errorf("core: recompute chain for %s exceeds %d ops", target.Name, maxLen)
+		return errChainTooLong
 	}
 	for _, in := range p.Inputs {
 		if touched != nil {
-			touched[in.ID] = struct{}{}
+			*touched = append(*touched, int32(in.ID))
 		}
 		if q.ok(in) {
 			continue
@@ -251,7 +593,7 @@ func (w *chainWalker) visit(x, target *graph.Tensor, q availQuery, maxLen int, t
 
 // planDelta lists the tensors and ops whose plan entries a committed
 // candidate changed — the exact set the incremental structures must
-// re-apply.
+// re-apply. The backing arrays live on the planner and are reused.
 type planDelta struct {
 	tensors []*graph.Tensor
 	ops     []*graph.Op
@@ -260,19 +602,26 @@ type planDelta struct {
 // noteChanges propagates a committed decision into the incremental
 // state: changed tensors are re-applied to the curve and dirty-checked
 // against every recorded chain dependency set, changed ops get their
-// footprint adjustment recomputed, and tensors that now hold a
-// recompute decision are marked for (re-)derivation so their
-// dependency sets register.
+// footprint adjustment recomputed, tensors that now hold a recompute
+// decision are marked for (re-)derivation so their dependency sets
+// register, and the candidate index drops everything the commit could
+// have re-priced.
 func (pl *Planner) noteChanges(d planDelta) {
 	for _, t := range d.tensors {
 		pl.curve.update(t)
 		pl.ct.noteChanged(t.ID)
-		if tp, ok := pl.plan.Tensors[t.ID]; ok && tp.Opt == Recompute {
+		if pl.tpSet[t.ID] && pl.tpMirror[t.ID].Opt == Recompute {
 			pl.ct.markDirty(t.ID)
+		}
+		if pl.ci != nil && pl.ci.active {
+			pl.ci.noteTensorPlanChanged(t.ID)
 		}
 	}
 	for _, op := range d.ops {
 		pl.curve.setAdj(pl.opIdx[op.ID], pl.ms.opFootprintAdjustment(op, pl.plan))
+		if pl.ci != nil && pl.ci.active {
+			pl.ci.noteSplitChanged(pl.opIdx[op.ID])
+		}
 	}
 }
 
@@ -283,42 +632,58 @@ func (pl *Planner) noteChanges(d planDelta) {
 // skipping them cannot diverge from the serial full refresh. It
 // returns the number of chains actually re-derived — planner
 // introspection reports it against the tracked-chain count to quantify
-// the incremental saving.
+// the incremental saving. Every applied ChainBytes change is appended
+// to the warm-replan journal so a replay can re-apply the refresh
+// without walking (see replan.go).
 func (pl *Planner) refreshChainsDirty() int {
-	if len(pl.ct.dirty) == 0 {
+	ct := pl.ct
+	if len(ct.dirtyList) == 0 {
 		return 0
 	}
-	if cap(pl.dirtyScratch) < len(pl.ct.dirty) {
-		pl.dirtyScratch = make([]int, 0, len(pl.ct.dirty))
-	}
-	owners := pl.dirtyScratch[:0]
-	for id := range pl.ct.dirty {
-		owners = append(owners, id)
-	}
+	owners := ct.dirtyList
 	// Re-derive in ID order: each walk is independent, but curve.update
 	// touches shared state and the obs counters should not depend on
-	// which owner a map handed out first.
-	sort.Ints(owners)
+	// mark order.
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
 	rederived := 0
-	for _, id := range owners {
-		delete(pl.ct.dirty, id)
-		tp, ok := pl.plan.Tensors[id]
-		if !ok || tp.Opt != Recompute {
-			pl.ct.drop(id)
+	for _, id32 := range owners {
+		id := int(id32)
+		ct.dirty[id] = false
+		if !pl.tpSet[id] || pl.tpMirror[id].Opt != Recompute {
+			ct.drop(id)
 			continue
 		}
+		tp := pl.tpMirror[id]
 		rederived++
-		touched := make(map[int]struct{}, 16)
-		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), touched)
-		pl.ct.deps[id] = touched
+		pl.touchScratch = pl.touchScratch[:0]
+		chain, err := pl.walker.walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), &pl.touchScratch)
+		ct.setDeps(id, pl.touchScratch)
 		if err != nil {
 			continue // as refreshChains: keep the last estimate
 		}
 		if nb := chainTransientBytes(chain, tp.Tensor); nb != tp.ChainBytes {
 			tp.ChainBytes = nb
-			pl.plan.Tensors[id] = tp
+			pl.putTensorPlan(id, tp)
 			pl.curve.update(tp.Tensor)
+			pl.jCur.recordChainUpdate(id, nb)
 		}
 	}
+	ct.dirtyList = ct.dirtyList[:0]
 	return rederived
+}
+
+// markAllChainsDirty conservatively marks every committed recompute
+// decision for re-derivation. The warm-replay path uses it when
+// switching from journal replay to live scoring: replay applies
+// journaled ChainBytes values without walking, so the dependency sets
+// are unknown at the switch point. Re-walking everything re-registers
+// them; chains whose state is unchanged re-derive identical values, so
+// the conservative mark cannot change the plan.
+func (pl *Planner) markAllChainsDirty() {
+	//lint:allow maporder marking is order-independent; the dirty list is sorted before processing
+	for id, tp := range pl.plan.Tensors {
+		if tp.Opt == Recompute {
+			pl.ct.markDirty(id)
+		}
+	}
 }

@@ -109,6 +109,97 @@ func TestIncrementalCurveMatchesFullRebuild(t *testing.T) {
 	}
 }
 
+// TestBottleneckResumeMatchesFullScan pins the resumable
+// first-over-capacity search against the oracle: a front-to-back scan
+// of the from-scratch curve. The search resumes from
+// min(prevBottleneck, minInc) and skips whole blocks via the rawMax
+// upper bound; both shortcuts must be invisible — same index, same
+// value, same found/not-found — through an arbitrary random decision
+// walk, including edits that raise memory at positions the resume
+// point has already passed (tracked by minInc) and stale rawMax
+// bounds left by subtractions.
+func TestBottleneckResumeMatchesFullScan(t *testing.T) {
+	for _, model := range []string{"vgg16", "bert-large"} {
+		for _, capPct := range []int64{55, 75} {
+			tb := newTestbed(t, model, models.Config{BatchSize: 8})
+			ms := NewMemSim(tb.g, tb.sched, tb.lv)
+			plan := NewPlan("prop", tb.dev)
+			maxID := 0
+			for _, x := range tb.g.Tensors {
+				if x.ID > maxID {
+					maxID = x.ID
+				}
+			}
+			curve := newMemCurve(ms, plan, maxID)
+			_, basePeak, _ := ms.Curve(plan)
+			cap := basePeak * capPct / 100
+			rng := rand.New(rand.NewSource(7))
+
+			prevBtl := 0
+			check := func(step int) {
+				t.Helper()
+				mem, _, _ := ms.Curve(plan)
+				wantI, wantFound := 0, false
+				var wantMem int64
+				for u, v := range mem {
+					if v > cap {
+						wantI, wantMem, wantFound = u, v, true
+						break
+					}
+				}
+				gotI, gotMem, gotFound := curve.bottleneck(cap, prevBtl)
+				if gotFound != wantFound || gotI != wantI || gotMem != wantMem {
+					t.Fatalf("%s cap=%d%% step %d: bottleneck (%d, %d, %v) != full scan (%d, %d, %v)",
+						model, capPct, step, gotI, gotMem, gotFound, wantI, wantMem, wantFound)
+				}
+				if gotFound {
+					prevBtl = gotI
+				}
+			}
+			check(-1)
+
+			for step := 0; step < 300; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // evict a random unplanned tensor
+					x := tb.g.Tensors[rng.Intn(len(tb.g.Tensors))]
+					if _, planned := plan.Tensors[x.ID]; planned || !x.Kind.Evictable() {
+						continue
+					}
+					us := uses(x, tb.sched)
+					if len(us) == 0 {
+						continue
+					}
+					r := us[rng.Intn(len(us))]
+					opt := Swap
+					if rng.Intn(2) == 0 {
+						opt = Recompute
+					}
+					tp := TensorPlan{Tensor: x, Opt: opt, EvictAt: tb.lv.FirstUse[x], RestoreAt: r, PrefetchAt: r}
+					if tp.EvictAt < 0 {
+						tp.EvictAt = 0
+					}
+					plan.Tensors[x.ID] = tp
+					curve.update(x)
+				case 2: // split a random op
+					op := tb.sched.Ops[rng.Intn(len(tb.sched.Ops))]
+					if in, out := SplitTensors(op, tensor.DimSample); in == nil || out == nil {
+						continue
+					}
+					plan.Splits[op.ID] = OpSplit{Op: op, PNum: []int{2, 4}[rng.Intn(2)], Dim: tensor.DimSample, InOpt: Reside}
+					curve.setAdj(tb.sched.Index[op], ms.opFootprintAdjustment(op, plan))
+				case 3: // revert a random decision (memory increases again)
+					for id, tp := range plan.Tensors {
+						delete(plan.Tensors, id)
+						curve.update(tp.Tensor)
+						break
+					}
+				}
+				check(step)
+			}
+		}
+	}
+}
+
 // TestOptionsWithDefaultsIdempotent guards the double-application
 // hazard: withDefaults used to subtract the FragmentationReserve from
 // the capacity on every call, so any path that defaulted an

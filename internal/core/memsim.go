@@ -13,11 +13,41 @@ type MemSim struct {
 	G     *graph.Graph
 	Sched *graph.Schedule
 	Lv    *graph.Liveness
+	// ID-indexed mirrors of Lv.FirstUse/Lv.LastUse/Sched.Index: the
+	// residency derivation runs once per tensor per committed decision
+	// on the incremental planner's hot path, and the pointer-keyed map
+	// lookups dominate it.
+	firstOf []int
+	lastOf  []int
+	opPos   []int
 }
 
 // NewMemSim builds the simulator from a graph and its schedule.
 func NewMemSim(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness) *MemSim {
-	return &MemSim{G: g, Sched: sched, Lv: lv}
+	ms := &MemSim{G: g, Sched: sched, Lv: lv}
+	maxT, maxO := 0, 0
+	for _, t := range g.Tensors {
+		if t.ID > maxT {
+			maxT = t.ID
+		}
+	}
+	for _, op := range g.Ops {
+		if op.ID > maxO {
+			maxO = op.ID
+		}
+	}
+	ms.firstOf = make([]int, maxT+1)
+	ms.lastOf = make([]int, maxT+1)
+	for _, t := range g.Tensors {
+		ms.firstOf[t.ID] = lv.FirstUse[t]
+		ms.lastOf[t.ID] = lv.LastUse[t]
+	}
+	ms.opPos = make([]int, maxO+1)
+	//lint:allow maporder — each op writes its own slot; order cannot matter
+	for op, i := range sched.Index {
+		ms.opPos[op.ID] = i
+	}
+	return ms
 }
 
 // span is one device-residency interval of a tensor with the bytes it
@@ -31,9 +61,18 @@ type span struct {
 // plan. Most tensors have one span; evicted tensors have two (before
 // eviction, after restore); sharded parameters have one per consumer.
 func (ms *MemSim) residency(t *graph.Tensor, p *Plan) []span {
+	return ms.residencyInto(t, p, nil, nil)
+}
+
+// residencyInto is residency appending into a caller-owned buffer, so
+// the incremental memory curve can re-derive a tensor's spans without
+// allocating (see memCurve.contributionsInto). A non-nil look replaces
+// the p.Tensors map read with an O(1) array mirror lookup (the
+// planner's tpMirror) — it must answer exactly what p.Tensors holds.
+func (ms *MemSim) residencyInto(t *graph.Tensor, p *Plan, look func(id int) (TensorPlan, bool), buf []span) []span {
 	n := len(ms.Sched.Ops)
-	first := ms.Lv.FirstUse[t]
-	last := ms.Lv.LastUse[t]
+	first := ms.firstOf[t.ID]
+	last := ms.lastOf[t.ID]
 	if first == -1 {
 		first = 0
 		last = n - 1
@@ -45,44 +84,50 @@ func (ms *MemSim) residency(t *graph.Tensor, p *Plan) []span {
 	switch t.Kind {
 	case tensor.OptState:
 		if p.OffloadOptimizer {
-			return nil // lives in host memory; updates run on CPU
+			return buf // lives in host memory; updates run on CPU
 		}
 	case tensor.ParamGrad:
 		if p.OffloadOptimizer {
 			// Streamed to host as soon as produced.
-			prod := ms.Lv.FirstUse[t]
+			prod := ms.firstOf[t.ID]
 			if prod >= 0 {
-				return []span{{prod, prod, b}}
+				return append(buf, span{prod, prod, b})
 			}
-			return nil
+			return buf
 		}
 	case tensor.Parameter:
 		if p.ShardParams {
 			// Staged in right before each consumer and evicted after.
-			var iv []span
+			base := len(buf)
 			for _, c := range t.Consumers {
-				i := ms.Sched.Index[c]
+				i := ms.opPos[c.ID]
 				a := i - 1
 				if a < 0 {
 					a = 0
 				}
-				if k := len(iv); k > 0 && iv[k-1].b >= a-1 {
-					iv[k-1].b = i
+				if k := len(buf); k > base && buf[k-1].b >= a-1 {
+					buf[k-1].b = i
 					continue
 				}
-				iv = append(iv, span{a, i, b})
+				buf = append(buf, span{a, i, b})
 			}
-			return iv
+			return buf
 		}
 	}
 
-	tp, ok := p.Tensors[t.ID]
+	var tp TensorPlan
+	var ok bool
+	if look != nil {
+		tp, ok = look(t.ID)
+	} else {
+		tp, ok = p.Tensors[t.ID]
+	}
 	if !ok || tp.Opt == Reside {
-		return []span{{first, last, b}}
+		return append(buf, span{first, last, b})
 	}
 	// Evicted after EvictAt; back on device from the prefetch (swap) or
 	// the restoring consumer (recompute) to the last use.
-	iv := []span{{first, tp.EvictAt, b}}
+	buf = append(buf, span{first, tp.EvictAt, b})
 	if tp.RestoreAt >= 0 && tp.RestoreAt <= last {
 		back := tp.RestoreAt
 		if tp.Opt == Swap && tp.PrefetchAt >= 0 && tp.PrefetchAt < back {
@@ -99,10 +144,10 @@ func (ms *MemSim) residency(t *graph.Tensor, p *Plan) []span {
 			back = tp.RestoreAt // no whole-tensor prefetch window
 		}
 		if back <= last {
-			iv = append(iv, span{back, last, restored})
+			buf = append(buf, span{back, last, restored})
 		}
 	}
-	return iv
+	return buf
 }
 
 // Curve returns the memory requirement at every schedule index under
@@ -119,7 +164,7 @@ func (ms *MemSim) Curve(p *Plan) (memAt []int64, peak int64, peakIdx int) {
 			// Each backward consumer re-runs the chain; its transient
 			// intermediates occupy the device at that point.
 			for _, c := range t.Consumers {
-				if u := ms.Sched.Index[c]; u >= tp.RestoreAt {
+				if u := ms.opPos[c.ID]; u >= tp.RestoreAt {
 					delta[u] += tp.ChainBytes
 					delta[u+1] -= tp.ChainBytes
 				}

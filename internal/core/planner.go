@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"time"
 
@@ -49,12 +48,12 @@ type Options struct {
 	// CPU-side optimizer state and updates (the configuration used for
 	// the PyTorch offload comparison, paper Sec. VI-D).
 	OffloadOptimizer bool
-	// Serial forces the reference planning path: single-threaded
-	// candidate scoring and a full memory-curve rebuild on every
-	// iteration. The default path (incremental curve + parallel
-	// scorer) produces byte-identical plans; benchmarks keep the
-	// serial path around as the speedup baseline and tests as the
-	// equivalence oracle.
+	// Serial forces the reference planning path: a full candidate
+	// rescan and a full memory-curve rebuild on every iteration. The
+	// default path (incremental curve + invalidating candidate index +
+	// resumed bottleneck scan) produces byte-identical plans;
+	// benchmarks keep the serial path around as the speedup baseline
+	// and tests as the equivalence oracle.
 	Serial bool
 
 	// --- ablation knobs (DESIGN.md §4) ---
@@ -139,6 +138,36 @@ func (o Options) withDefaults(dev device.Device) Options {
 	return o
 }
 
+// warmCompatible reports whether a completed run journaled under
+// prev can seed a warm replay of a run under next: every option that
+// shapes scoring or the graph interpretation must be identical. The
+// capacity trio (Capacity, SafetyMargin, FragmentationReserve) is
+// deliberately exempt — withDefaults folds all three into the final
+// Capacity, and capacity changes are exactly what warm replanning is
+// for. Obs/Clock/CollectReport only shape reporting, never the plan.
+func warmCompatible(prev, next Options) bool {
+	if prev.DisableSplit != next.DisableSplit ||
+		prev.MaxRecomputeChain != next.MaxRecomputeChain ||
+		prev.DisableEarlyOut != next.DisableEarlyOut ||
+		prev.MaxIterations != next.MaxIterations ||
+		prev.OffloadOptimizer != next.OffloadOptimizer ||
+		prev.PreferLargest != next.PreferLargest ||
+		prev.DisableRecompute != next.DisableRecompute ||
+		prev.SplitLookahead != next.SplitLookahead ||
+		prev.DisableGenTieBreak != next.DisableGenTieBreak {
+		return false
+	}
+	if len(prev.PNums) != len(next.PNums) {
+		return false
+	}
+	for i := range prev.PNums {
+		if prev.PNums[i] != next.PNums[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Planner implements the model-guided planning of paper Algorithm 2:
 // simulate the memory requirement along the schedule; at each memory
 // bottleneck score every candidate action — swap or recompute of a
@@ -146,6 +175,11 @@ func (o Options) withDefaults(dev device.Device) Options {
 // with micro-tensor eviction (Step 2) — by its ΔT/ΔM ratio, commit the
 // cheapest (Step 3), and repeat until the whole schedule fits the
 // device.
+//
+// A planner is reusable: every Plan()/Replan() call resets the pooled
+// per-run state (occupancy, curve, candidate index, journals) in place,
+// so steady-state planning allocates almost nothing (see PlannerPool
+// and DESIGN.md §7). A planner is not safe for concurrent use.
 type Planner struct {
 	G     *graph.Graph
 	Sched *graph.Schedule
@@ -158,14 +192,22 @@ type Planner struct {
 	occ       *profiler.Occupancy
 	plan      *Plan
 	extraTime float64
-	// swapStall remembers the unhidden swap-out time per tensor ID so
-	// the early-out refinement knows where splitting a producer helps.
-	swapStall map[int]float64
+	// Unhidden swap-out time per tensor ID so the early-out refinement
+	// knows where splitting a producer helps. ID-indexed array plus an
+	// append-order ID list (each tensor is planned at most once per
+	// run) — no map, no steady-state allocations.
+	swapStallOf  []float64
+	swapStallIDs []int32
 
-	// --- incremental planning state (see incremental.go) ---
+	// --- incremental planning state (see incremental.go, candindex.go) ---
 
 	curve *memCurve
 	ct    *chainTracker
+	ci    *candIndex
+	// incremental is the per-run mode latch (= !Opts.Serial at
+	// beginRun); the pooled curve may be stale while a serial run is in
+	// flight, so mid-run code must consult this, not Opts.
+	incremental bool
 	// ID-indexed mirrors of the liveness/schedule maps: the scoring
 	// loops run millions of lookups per plan and array indexing is
 	// several times cheaper than map access.
@@ -173,14 +215,40 @@ type Planner struct {
 	lastOf []int   // Lv.LastUse by tensor ID
 	usesOf [][]int // sorted consumer schedule indices by tensor ID
 	opIdx  []int   // schedule position by op ID
-	// cands is the per-iteration scoring buffer: one slot per task so
-	// workers write without coordination and the reduction folds in
-	// task-index order.
-	cands        []candidate
-	walkers      []*chainWalker
-	workers      int
-	maxTensorID  int
-	dirtyScratch []int
+	// cands is the serial path's scoring buffer: one slot per task,
+	// folded in task-index order.
+	cands       []candidate
+	walker      *chainWalker
+	maxTensorID int
+	// touchScratch collects the tensor IDs a chain walk queried — the
+	// dependency set the chain tracker and candidate index register.
+	touchScratch []int32
+	// tpMirror/tpSet mirror plan.Tensors by tensor ID during a run:
+	// availability probes and split scoring run hundreds of thousands
+	// of entry lookups per plan, and array indexing beats map access
+	// severalfold. Every planning-time write must go through
+	// putTensorPlan so the mirror never diverges from the map.
+	tpMirror []TensorPlan
+	tpSet    []bool
+	// Fold scratch for the candidate-index scan (candindex.go): the
+	// scan writes each priced candidate into foldTmp and keeps the
+	// running winners in foldPos/foldBest, so pricing allocates nothing.
+	foldTmp, foldPos, foldBest candidate
+	// planDelta backing storage, reused across commits (noteChanges
+	// consumes the delta before the next commit).
+	deltaT1 [1]*graph.Tensor
+	deltaO1 [1]*graph.Op
+	deltaTN []*graph.Tensor
+
+	// --- warm replanning state (see replan.go) ---
+
+	// jCur records the run in flight; jPrev holds the previous
+	// completed run's journal so Replan can replay it while recording
+	// anew. beginRun swaps them.
+	jCur, jPrev planJournal
+	// lastPlan is the plan returned by the last successful run; Replan
+	// only warm-starts when handed exactly this plan.
+	lastPlan *Plan
 
 	// --- observability state (see report.go) ---
 
@@ -191,6 +259,8 @@ type Planner struct {
 	statCands     int64
 	statRederived int64
 	statSkipped   int64
+	statRescored  int64
+	statReplayed  int64
 	// nRecompute counts committed recompute decisions — the number of
 	// chains the refresh passes are responsible for.
 	nRecompute int
@@ -208,8 +278,25 @@ func NewPlanner(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, prof 
 	return pl
 }
 
-// initAccel precomputes the ID-indexed lookup arrays and the per-worker
-// chain walkers.
+// SetOptions replaces the planner's options for subsequent Plan()
+// calls (the PlannerPool hands out recycled planners this way).
+func (pl *Planner) SetOptions(opts Options) {
+	pl.Opts = opts.withDefaults(pl.Dev)
+}
+
+// Reset drops all cross-run state — the warm-replan journal and the
+// last plan — so the next Plan() is guaranteed cold. The pooled scratch
+// (curve, candidate index, occupancy) is kept for reuse; it is reset in
+// place at the top of every run regardless.
+func (pl *Planner) Reset() {
+	pl.jCur = planJournal{entries: pl.jCur.entries[:0], updates: pl.jCur.updates[:0]}
+	pl.jPrev = planJournal{entries: pl.jPrev.entries[:0], updates: pl.jPrev.updates[:0]}
+	pl.lastPlan = nil
+	pl.report = nil
+}
+
+// initAccel precomputes the ID-indexed lookup arrays and the reusable
+// chain walker.
 func (pl *Planner) initAccel() {
 	maxT, maxO := 0, 0
 	for _, t := range pl.G.Tensors {
@@ -235,21 +322,34 @@ func (pl *Planner) initAccel() {
 	for i, op := range pl.Sched.Ops {
 		pl.opIdx[op.ID] = i
 	}
-	pl.workers = runtime.GOMAXPROCS(0)
-	if pl.workers < 1 {
-		pl.workers = 1
+	pl.walker = newChainWalker(maxO)
+	pl.swapStallOf = make([]float64, maxT+1)
+	pl.tpMirror = make([]TensorPlan, maxT+1)
+	pl.tpSet = make([]bool, maxT+1)
+}
+
+// putTensorPlan commits a tensor's plan entry to both the plan map and
+// the planner's ID-indexed mirror.
+func (pl *Planner) putTensorPlan(id int, tp TensorPlan) {
+	pl.plan.Tensors[id] = tp
+	pl.tpMirror[id] = tp
+	pl.tpSet[id] = true
+}
+
+// tensorPlanByID answers plan.Tensors[id] from the ID-indexed mirror
+// — hot-path replacement for the map read (see memCurve.look).
+func (pl *Planner) tensorPlanByID(id int) (TensorPlan, bool) {
+	if pl.tpSet[id] {
+		return pl.tpMirror[id], true
 	}
-	pl.walkers = make([]*chainWalker, pl.workers)
-	for i := range pl.walkers {
-		pl.walkers[i] = newChainWalker(maxO)
-	}
+	return TensorPlan{}, false
 }
 
 // candidate is one scored planning action, held by value in the
-// scoring buffer so workers never share mutable state. The decision
-// payload replaces the old apply-closure: committing is a planner
-// method (applyCandidate) that also reports which tensors and ops it
-// changed, which the incremental curve and chain tracker need.
+// scoring buffers. The decision payload replaces the old
+// apply-closure: committing is a planner method (applyCandidate) that
+// also reports which tensors and ops it changed, which the incremental
+// curve and chain tracker need.
 type candidate struct {
 	valid   bool
 	isSplit bool
@@ -288,7 +388,31 @@ var ErrInfeasible = fmt.Errorf("core: no strategy can fit the schedule in device
 // failure the partial plan built so far is returned alongside the
 // error, for diagnostics.
 func (pl *Planner) Plan() (*Plan, error) {
+	pl.beginRun()
+	if pl.incremental {
+		return pl.finishRun(pl.greedyIncremental(0, 0))
+	}
+	return pl.finishRun(pl.greedySerial())
+}
+
+// beginRun resets all per-run state in place: a fresh Plan (the only
+// per-run allocation — previously returned plans must stay valid), the
+// pooled occupancy/curve/chain-tracker/candidate-index scratch, and the
+// journal double-buffer (the previous completed journal moves to jPrev,
+// where a warm replay can read it while jCur records the new run).
+func (pl *Planner) beginRun() {
 	pl.plan = NewPlan("tsplit", pl.Dev)
+	if prev := pl.lastPlan; prev != nil {
+		// Similar workloads commit similar decision counts: pre-size the
+		// maps to the previous run's so steady-state pooled runs skip
+		// the incremental-growth rehashes.
+		if n := len(prev.Tensors); n > 0 {
+			pl.plan.Tensors = make(map[int]TensorPlan, n)
+		}
+		if n := len(prev.Splits); n > 0 {
+			pl.plan.Splits = make(map[int]OpSplit, n)
+		}
+	}
 	if pl.Opts.DisableSplit {
 		pl.plan.Name = "tsplit-nosplit"
 	}
@@ -296,41 +420,92 @@ func (pl *Planner) Plan() (*Plan, error) {
 		pl.plan.Name = "tsplit-offload"
 		pl.plan.OffloadOptimizer = true
 	}
-	pl.occ = profiler.NewOccupancy(pl.Prof)
-	pl.swapStall = make(map[int]float64)
-	pl.statIters, pl.statCands, pl.statRederived, pl.statSkipped, pl.nRecompute = 0, 0, 0, 0, 0
+	if pl.occ == nil {
+		pl.occ = profiler.NewOccupancy(pl.Prof)
+	} else {
+		pl.occ.Reset()
+	}
+	for _, id := range pl.swapStallIDs {
+		pl.swapStallOf[id] = 0
+	}
+	pl.swapStallIDs = pl.swapStallIDs[:0]
+	for id := range pl.tpSet {
+		pl.tpSet[id] = false
+	}
+	pl.extraTime = 0
+	pl.statIters, pl.statCands, pl.statRederived, pl.statSkipped = 0, 0, 0, 0
+	pl.statRescored, pl.statReplayed = 0, 0
+	pl.nRecompute = 0
 	pl.report = nil
 	if pl.Opts.Obs != nil {
 		pl.statStart = pl.Opts.Clock()
 	}
-	cap := pl.Opts.Capacity
 	if pl.Opts.CollectReport {
 		pl.report = &PlanReport{
 			Policy: pl.plan.Name, Device: pl.Dev.Name,
-			CapacityBytes: cap, SafetyMargin: pl.Opts.SafetyMargin,
+			CapacityBytes: pl.Opts.Capacity, SafetyMargin: pl.Opts.SafetyMargin,
 		}
 	}
-	incremental := !pl.Opts.Serial
-	if incremental {
-		pl.curve = newMemCurve(pl.ms, pl.plan, pl.maxTensorID)
-		pl.ct = newChainTracker()
+	pl.incremental = !pl.Opts.Serial
+	pl.jPrev, pl.jCur = pl.jCur, pl.jPrev
+	pl.jCur.begin(pl.Opts, pl.incremental)
+	if pl.incremental {
+		if pl.curve == nil {
+			pl.curve = newMemCurve(pl.ms, pl.plan, pl.maxTensorID)
+			// Route the curve's plan-entry reads through the tpMirror
+			// arrays: same answers as plan.Tensors, no map hashing on
+			// the span re-derivation hot path.
+			pl.curve.look = pl.tensorPlanByID
+			pl.ct = newChainTracker(pl.maxTensorID)
+			pl.ci = newCandIndex(pl)
+		} else {
+			pl.curve.reset(pl.plan)
+			pl.ct.reset()
+		}
+		pl.ci.deactivate()
 	}
+}
 
+// finishRun completes a run: the early-out refinement, the final peak
+// (from the incremental curve when available — the serial reference
+// rebuilds from scratch), observation, and the journal/lastPlan
+// hand-off that arms the next Replan.
+func (pl *Planner) finishRun(err error) (*Plan, error) {
+	if err != nil {
+		pl.jCur.valid, pl.jCur.completed = false, false
+		pl.lastPlan = nil
+		return pl.plan, err
+	}
+	if !pl.Opts.DisableSplit && !pl.Opts.DisableEarlyOut {
+		pl.earlyOutPass()
+	}
+	var peak int64
+	if pl.incremental {
+		_, peak, _ = pl.curve.scan()
+	} else {
+		_, peak, _ = pl.ms.Curve(pl.plan)
+	}
+	pl.plan.PredictedPeak = peak
+	pl.plan.PredictedTime = pl.Prof.Total() + pl.extraTime
+	pl.finishObservation(peak)
+	pl.jCur.completed = pl.jCur.valid
+	pl.lastPlan = pl.plan
+	return pl.plan, nil
+}
+
+// greedySerial is the reference greedy loop: full chain refresh, full
+// curve rebuild, front-to-back bottleneck scan, and a full candidate
+// rescan, every iteration. Byte-identical plans from the incremental
+// loop are the correctness bar (TestPlannerSerialParallelEquivalence).
+func (pl *Planner) greedySerial() error {
+	capB := pl.Opts.Capacity
 	for iter := 0; ; iter++ {
 		if iter >= pl.Opts.MaxIterations {
 			pl.countFailure("nonconverged")
-			return pl.plan, fmt.Errorf("core: planning did not converge in %d iterations", iter)
+			return fmt.Errorf("core: planning did not converge in %d iterations", iter)
 		}
-		var memAt []int64
-		var peak int64
-		var rederived int
-		if incremental {
-			rederived = pl.refreshChainsDirty()
-			memAt, peak, _ = pl.curve.scan()
-		} else {
-			rederived = pl.refreshChains()
-			memAt, peak, _ = pl.ms.Curve(pl.plan)
-		}
+		rederived := pl.refreshChains()
+		memAt, peak, _ := pl.ms.Curve(pl.plan)
 		pl.statRederived += int64(rederived)
 		if skipped := pl.nRecompute - rederived; skipped > 0 {
 			pl.statSkipped += int64(skipped)
@@ -344,13 +519,13 @@ func (pl *Planner) Plan() (*Plan, error) {
 				pl.report.InitialPeakBytes = peak
 			}
 		}
-		if peak <= cap {
-			break
+		if peak <= capB {
+			return nil
 		}
 		// First bottleneck position (Algorithm 2 walks the schedule).
 		i := 0
 		for ; i < len(memAt); i++ {
-			if memAt[i] > cap {
+			if memAt[i] > capB {
 				break
 			}
 		}
@@ -358,29 +533,80 @@ func (pl *Planner) Plan() (*Plan, error) {
 		pl.statCands += int64(scored)
 		if best == nil {
 			pl.countFailure("infeasible")
-			return pl.plan, fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
-				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAt[i]-cap)/(1<<20))
+			return fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
+				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAt[i]-capB)/(1<<20))
 		}
 		pl.statIters++
 		if pl.report != nil {
 			pl.report.Decisions = append(pl.report.Decisions,
-				pl.decisionRecord(iter, i, memAt[i]-cap, peak, scored, rederived, best))
+				pl.decisionRecord(iter, i, memAt[i]-capB, peak, scored, rederived, best))
 		}
-		delta := pl.applyCandidate(best)
-		if incremental {
-			pl.noteChanges(delta)
-		}
+		pl.applyCandidate(best)
 		pl.extraTime += best.deltaT
 	}
+}
 
-	if !pl.Opts.DisableSplit && !pl.Opts.DisableEarlyOut {
-		pl.earlyOutPass()
+// greedyIncremental is the default loop: dirty-set chain refresh, a
+// bottleneck scan resumed from min(previous bottleneck, lowest index
+// where memory may have increased), and candidate pricing through the
+// invalidating index. startIter/prevBtl are zero on a cold Plan();
+// warm replay hands over its resume point.
+func (pl *Planner) greedyIncremental(startIter, prevBtl int) error {
+	capB := pl.Opts.Capacity
+	for iter := startIter; ; iter++ {
+		if iter >= pl.Opts.MaxIterations {
+			pl.countFailure("nonconverged")
+			return fmt.Errorf("core: planning did not converge in %d iterations", iter)
+		}
+		rederived := pl.refreshChainsDirty()
+		pl.statRederived += int64(rederived)
+		if skipped := pl.nRecompute - rederived; skipped > 0 {
+			pl.statSkipped += int64(skipped)
+		}
+		var peak int64
+		if pl.report != nil {
+			// Report mode pays for a full curve scan per iteration to
+			// record peak trajectories; the no-report hot path does not.
+			_, peak, _ = pl.curve.scan()
+			if n := len(pl.report.Decisions); n > 0 {
+				pl.report.Decisions[n-1].PeakAfter = peak
+			} else {
+				pl.report.InitialPeakBytes = peak
+			}
+		}
+		i, memAtI, found := pl.curve.bottleneck(capB, prevBtl)
+		if !found {
+			return nil
+		}
+		best, scored := pl.bestIncremental(i)
+		pl.statCands += int64(scored)
+		if best == nil {
+			pl.countFailure("infeasible")
+			return fmt.Errorf("%w (bottleneck at op %d %s: need %.1f MiB over capacity)",
+				ErrInfeasible, i, pl.Sched.Ops[i], float64(memAtI-capB)/(1<<20))
+		}
+		pl.statIters++
+		if pl.report != nil {
+			pl.report.Decisions = append(pl.report.Decisions,
+				pl.decisionRecord(iter, i, memAtI-capB, peak, scored, rederived, best))
+		}
+		delta := pl.applyCandidate(best)
+		pl.jCur.recordDecision(i, best, scored, rederived)
+		pl.noteChanges(delta)
+		pl.extraTime += best.deltaT
+		prevBtl = i
 	}
-	_, peak, _ := pl.ms.Curve(pl.plan)
-	pl.plan.PredictedPeak = peak
-	pl.plan.PredictedTime = pl.Prof.Total() + pl.extraTime
-	pl.finishObservation(peak)
-	return pl.plan, nil
+}
+
+// bestIncremental prices the candidate pool through the index: advance
+// the liveness windows to bottleneck i, re-derive only the stale
+// cached chains and split configurations, then fold every live
+// candidate in exactly the serial scan order (better() is not
+// associative, so the order is load-bearing).
+func (pl *Planner) bestIncremental(i int) (*candidate, int) {
+	pl.ci.ensure(i)
+	pl.ci.refreshCandChains()
+	return pl.ci.best(i)
 }
 
 // Report returns the introspection record of the last Plan() call, or
@@ -433,6 +659,9 @@ func (pl *Planner) finishObservation(finalPeak int64) {
 		r.CandidatesScored = pl.statCands
 		r.ChainsRederived = pl.statRederived
 		r.ChainsSkipped = pl.statSkipped
+		r.CandidatesRescored = pl.statRescored
+		r.DecisionsReplayed = pl.statReplayed
+		r.WarmStart = pl.statReplayed > 0
 		r.MeanPCIeOccupancy = pl.occ.Mean()
 		ids := make([]int, 0, len(pl.plan.Splits))
 		for id, sp := range pl.plan.Splits {
@@ -454,6 +683,8 @@ func (pl *Planner) finishObservation(finalPeak int64) {
 	rec.Add("tsplit_planner_candidates_scored_total", pl.statCands)
 	rec.Add("tsplit_planner_chains_rederived_total", pl.statRederived)
 	rec.Add("tsplit_planner_chains_skipped_total", pl.statSkipped)
+	rec.Add("tsplit_planner_candidates_rescored_total", pl.statRescored)
+	rec.Add("tsplit_planner_decisions_replayed_total", pl.statReplayed)
 	rec.Add("tsplit_planner_decisions_total", int64(counts.Swap), obs.L("kind", "swap"))
 	rec.Add("tsplit_planner_decisions_total", int64(counts.Recompute), obs.L("kind", "recompute"))
 	rec.Add("tsplit_planner_decisions_total", int64(counts.SplitOps), obs.L("kind", "split"))
@@ -474,6 +705,7 @@ func (pl *Planner) finishObservation(finalPeak int64) {
 func (pl *Planner) refreshChains() int {
 	// Each re-derivation is independent, but walk in tensor-ID order so
 	// the reference path touches the plan deterministically (maporder).
+	//lint:allow scratchreuse the serial reference path is not pooled
 	ids := make([]int, 0, len(pl.plan.Tensors))
 	for id := range pl.plan.Tensors {
 		ids = append(ids, id)
@@ -486,12 +718,12 @@ func (pl *Planner) refreshChains() int {
 			continue
 		}
 		n++
-		chain, err := pl.walkers[0].walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), nil)
+		chain, err := pl.walker.walk(tp.Tensor, availQuery{pl, tp.RestoreAt}, len(pl.G.Ops), nil)
 		if err != nil {
 			continue
 		}
 		tp.ChainBytes = chainTransientBytes(chain, tp.Tensor)
-		pl.plan.Tensors[id] = tp
+		pl.putTensorPlan(id, tp)
 	}
 	return n
 }
@@ -504,7 +736,7 @@ func (pl *Planner) refreshChains() int {
 //
 // The relative tie window makes better non-associative, so any
 // reduction over candidates must fold in the serial scan order (see
-// runScoring).
+// bestCandidate and candIndex.best).
 func (pl *Planner) better(a, b *candidate) bool {
 	if b == nil {
 		return true
@@ -531,17 +763,47 @@ func (pl *Planner) better(a, b *candidate) bool {
 	return a.genIdx < b.genIdx
 }
 
-// bestCandidate scores Step 1 (swap/recompute of live tensors) and
-// Step 2 (split of ops in the bottleneck's lookahead window) and
-// returns the winner of Step 3 plus the number of viable candidates
-// scored. The serial path runs the same scoring tasks on one
-// goroutine; both paths fold in identical order.
+// bestCandidate is the serial reference scorer: it rescans Step 1
+// (swap/recompute of every live tensor) and Step 2 (split of ops in
+// the bottleneck's lookahead window) from scratch and returns the
+// winner of Step 3 plus the number of viable candidates scored. The
+// incremental path prices the same pool through candIndex and must
+// fold in this exact task order.
 func (pl *Planner) bestCandidate(i int) (*candidate, int) {
-	workers := 1
-	if !pl.Opts.Serial {
-		workers = pl.workers
+	nT := len(pl.G.Tensors)
+	nS := 0
+	if !pl.Opts.DisableSplit {
+		last := i + pl.Opts.SplitLookahead
+		if last > len(pl.Sched.Ops)-1 {
+			last = len(pl.Sched.Ops) - 1
+		}
+		if last >= i {
+			nS = last - i + 1
+		}
 	}
-	return pl.runScoring(i, workers)
+	total := nT + nS
+	if cap(pl.cands) < total {
+		pl.cands = make([]candidate, total)
+	}
+	cands := pl.cands[:total]
+	for k := 0; k < total; k++ {
+		if k < nT {
+			pl.scoreEvictInto(pl.G.Tensors[k], i, &cands[k], pl.walker)
+		} else {
+			pl.scoreSplitInto(i+(k-nT), &cands[k], pl.walker)
+		}
+	}
+	var best *candidate
+	viable := 0
+	for k := range cands {
+		if c := &cands[k]; c.valid {
+			viable++
+			if pl.better(c, best) {
+				best = c
+			}
+		}
+	}
+	return best, viable
 }
 
 // scoreEvictInto scores swap vs recompute for one live tensor at
@@ -613,7 +875,10 @@ func (pl *Planner) scoreEvictInto(t *graph.Tensor, i int, c *candidate, wk *chai
 }
 
 // applyCandidate commits the winning decision to the plan and returns
-// the tensors/ops whose plan entries changed.
+// the tensors/ops whose plan entries changed. For a split it first
+// re-points c.split.MicroIns at a private copy: scoring buffers (and
+// the candidate index's pooled per-position config cache) own the
+// original backing array and will reuse it.
 func (pl *Planner) applyCandidate(c *candidate) planDelta {
 	if c.isSplit {
 		return pl.applySplit(c)
@@ -642,15 +907,21 @@ func (pl *Planner) applyEvict(c *candidate) planDelta {
 			}
 		}
 		tp.PrefetchAt = start
-		pl.swapStall[t.ID] = c.stallOut
+		pl.swapStallOf[t.ID] = c.stallOut
+		pl.swapStallIDs = append(pl.swapStallIDs, int32(t.ID))
 	}
-	pl.plan.Tensors[t.ID] = tp
-	return planDelta{tensors: []*graph.Tensor{t}}
+	pl.putTensorPlan(t.ID, tp)
+	pl.deltaT1[0] = t
+	return planDelta{tensors: pl.deltaT1[:1]}
 }
 
 func (pl *Planner) applySplit(c *candidate) planDelta {
 	op := c.split.Op
-	d := planDelta{ops: []*graph.Op{op}}
+	if len(c.split.MicroIns) > 0 {
+		c.split.MicroIns = append([]*graph.Tensor(nil), c.split.MicroIns...)
+	}
+	pl.deltaO1[0] = op
+	d := planDelta{ops: pl.deltaO1[:1], tensors: pl.deltaTN[:0]}
 	if old, ok := pl.plan.Splits[op.ID]; ok {
 		// Replacing the op's split: inputs the new decision no longer
 		// micro-restores must not keep a stale MicroRestore (it would
@@ -668,7 +939,7 @@ func (pl *Planner) applySplit(c *candidate) planDelta {
 			}
 			tp := pl.plan.Tensors[t.ID]
 			tp.MicroRestore = 0
-			pl.plan.Tensors[t.ID] = tp
+			pl.putTensorPlan(t.ID, tp)
 			d.tensors = append(d.tensors, t)
 		}
 	}
@@ -676,7 +947,7 @@ func (pl *Planner) applySplit(c *candidate) planDelta {
 	for _, t := range c.split.MicroIns {
 		tp := pl.plan.Tensors[t.ID]
 		tp.MicroRestore = c.split.PNum
-		pl.plan.Tensors[t.ID] = tp
+		pl.putTensorPlan(t.ID, tp)
 		d.tensors = append(d.tensors, t)
 	}
 	if c.splitNew && c.inOpt != Reside && c.restoreAt >= 0 {
@@ -695,9 +966,10 @@ func (pl *Planner) applySplit(c *candidate) planDelta {
 			}
 			tp.PrefetchAt = start
 		}
-		pl.plan.Tensors[c.in.ID] = tp
+		pl.putTensorPlan(c.in.ID, tp)
 		d.tensors = append(d.tensors, c.in)
 	}
+	pl.deltaTN = d.tensors[:0]
 	return d
 }
 
@@ -713,8 +985,7 @@ func (pl *Planner) microRestorable(t *graph.Tensor, restoreAt int) bool {
 	return out != nil && t.Shape.Rank() >= 1 && out.Shape.Rank() >= 1 && t.Shape[0] == out.Shape[0]
 }
 
-// Shared read-only option sets for splitInOpts (safe for concurrent
-// scoring workers).
+// Shared read-only option sets for splitInOpts.
 var (
 	inOptsReside      = []MemOpt{Reside}
 	inOptsRecompute   = []MemOpt{Recompute, Reside}
@@ -784,7 +1055,7 @@ func (pl *Planner) carvableSecondInput(op *graph.Op, in, out *graph.Tensor, dim 
 		if t.Shape.Rank() < 1 || out.Shape.Rank() < 1 || t.Shape[0] != out.Shape[0] {
 			continue
 		}
-		if _, planned := pl.plan.Tensors[t.ID]; planned {
+		if pl.tpSet[t.ID] {
 			continue
 		}
 		if _, restore, _ := pl.evictionWindowAfterFast(t, i); restore == -1 {
@@ -802,7 +1073,7 @@ func (pl *Planner) splitInOpts(in *graph.Tensor, dim tensor.SplitDim, i int) []M
 	if dim == tensor.DimParam {
 		return inOptsReside // the carved operand is the resident weight
 	}
-	if _, planned := pl.plan.Tensors[in.ID]; planned {
+	if pl.tpSet[in.ID] {
 		return inOptsReside
 	}
 	for _, c := range in.Consumers {
@@ -856,6 +1127,7 @@ func (pl *Planner) scoreSplitConfigInto(op *graph.Op, i int, in, out *graph.Tens
 			if pl.lastOf[t.ID] != i {
 				continue // another consumer still needs it whole
 			}
+			//lint:allow scratchreuse the serial reference path is not pooled
 			microIns = append(microIns, t)
 			microB += t.Bytes()
 		}
@@ -1027,13 +1299,11 @@ func (pl *Planner) chainCostFast(chain []*graph.Op) float64 {
 // visited in ID order so the floating-point time accumulation is
 // deterministic.
 func (pl *Planner) earlyOutPass() {
-	ids := make([]int, 0, len(pl.swapStall))
-	for id := range pl.swapStall {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		stall := pl.swapStall[id]
+	ids := pl.swapStallIDs
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id32 := range ids {
+		id := int(id32)
+		stall := pl.swapStallOf[id]
 		if stall <= 0 {
 			continue
 		}
@@ -1068,6 +1338,11 @@ func (pl *Planner) earlyOutPass() {
 			continue
 		}
 		pl.plan.Splits[prod.ID] = OpSplit{Op: prod, PNum: pnum, Dim: tensor.DimSample, InOpt: Reside, EarlyOut: true}
+		if pl.incremental {
+			// Keep the pooled curve coherent: the final peak comes from
+			// curve.scan(), which must see the split's footprint change.
+			pl.curve.setAdj(pi, pl.ms.opFootprintAdjustment(prod, pl.plan))
+		}
 		pl.extraTime -= gain - degrade
 	}
 }

@@ -1,0 +1,205 @@
+package core
+
+import "tsplit/internal/obs"
+
+// Warm replanning (DESIGN.md §7). A completed incremental run keeps a
+// journal: per greedy iteration, the chain-refresh results applied
+// before the decision, the bottleneck index, and a copy of the winning
+// candidate. Replan replays that journal against a pristine reset
+// state under the new capacity, iteration by iteration, as long as the
+// replayed state's first-over-capacity index coincides with the
+// journaled one — an inductive guarantee that a cold Plan() at the new
+// options would have walked the identical prefix:
+//
+//   - The greedy loop is a pure function of (plan, occupancy, curve)
+//     state; capacity enters only through the bottleneck position and
+//     the termination test.
+//   - If the states are identical entering iteration k and the
+//     bottleneck indices coincide, the cold run would refresh the same
+//     chains (journaled), score the same pool, and pick the same winner
+//     (journaled) — so the states are identical entering k+1.
+//
+// The replay therefore commits journaled decisions without scoring
+// anything. It stops in one of three ways:
+//
+//   - Exhausted: every journaled decision replayed (typical for a
+//     tighter capacity) — the greedy loop resumes live from there.
+//   - Diverged: the bottleneck moved (the new capacity surfaced a
+//     different position first) — replay stops, every committed chain
+//     is conservatively marked dirty (the journal applied values
+//     without registering dependency sets), and the live loop resumes
+//     at the same iteration. Re-derivation reproduces identical values
+//     for untouched chains, so the conservative mark cannot change the
+//     plan.
+//   - Fits: no position is over the new (looser) capacity — the
+//     remaining journaled decisions are unnecessary and are simply not
+//     applied. This is the rollback semantic: un-needed decisions were
+//     never committed rather than being undone.
+//
+// Because every replayed prefix is exactly what a cold run would have
+// committed, Replan is byte-identical to Plan() at the new options
+// (TestReplanMatchesColdPlan pins this across the model zoo).
+
+// chainUpdate is one journaled ChainBytes refresh.
+type chainUpdate struct {
+	id    int32
+	bytes int64
+}
+
+// journalEntry is one greedy iteration: the chain updates applied
+// before the decision (updates[chainLo:chainHi]), the bottleneck, the
+// scoring statistics, and the committed candidate.
+type journalEntry struct {
+	bottleneck int32
+	scored     int32
+	rederived  int32
+	chainLo    int32
+	chainHi    int32
+	cand       candidate
+}
+
+// planJournal records one incremental run. Two instances live on the
+// planner (current/previous); their backing arrays are reused across
+// runs.
+type planJournal struct {
+	// valid: recording (no error so far). completed: the run finished
+	// successfully — only then is the journal replayable.
+	valid     bool
+	completed bool
+	opts      Options
+	entries   []journalEntry
+	updates   []chainUpdate
+	// pendingLo marks where the not-yet-sealed chain updates of the
+	// current iteration start in updates.
+	pendingLo int
+}
+
+func (j *planJournal) begin(opts Options, recording bool) {
+	j.valid = recording
+	j.completed = false
+	j.opts = opts
+	j.entries = j.entries[:0]
+	j.updates = j.updates[:0]
+	j.pendingLo = 0
+}
+
+func (j *planJournal) recordChainUpdate(id int, bytes int64) {
+	if !j.valid {
+		return
+	}
+	j.updates = append(j.updates, chainUpdate{int32(id), bytes})
+}
+
+// recordDecision seals the pending chain updates and the committed
+// candidate into one entry. Call it after applyCandidate: the commit
+// re-points split MicroIns at a private copy, which the journal must
+// share (the scoring caches reuse the original backing array).
+func (j *planJournal) recordDecision(i int, c *candidate, scored, rederived int) {
+	if !j.valid {
+		return
+	}
+	j.entries = append(j.entries, journalEntry{
+		bottleneck: int32(i),
+		scored:     int32(scored),
+		rederived:  int32(rederived),
+		chainLo:    int32(j.pendingLo),
+		chainHi:    int32(len(j.updates)),
+		cand:       *c,
+	})
+	j.pendingLo = len(j.updates)
+}
+
+// Replan produces a plan for the new options, warm-starting from the
+// previous run when possible. prev must be the plan returned by this
+// planner's last successful Plan()/Replan() call; opts may change the
+// capacity trio (Capacity, SafetyMargin, FragmentationReserve) freely.
+// Any other change — or a different graph, a serial request, a failed
+// previous run — falls back to a cold Plan(). Either way the result is
+// byte-identical to a cold Plan() at opts.
+func (pl *Planner) Replan(prev *Plan, opts Options) (*Plan, error) {
+	opts = opts.withDefaults(pl.Dev)
+	warm := prev != nil && prev == pl.lastPlan && !opts.Serial &&
+		pl.jCur.completed && warmCompatible(pl.jCur.opts, opts)
+	pl.Opts = opts
+	if rec := opts.Obs; rec != nil {
+		mode := "cold"
+		if warm {
+			mode = "warm"
+		}
+		rec.Add("tsplit_planner_replans_total", 1, obs.L("mode", mode))
+	}
+	if !warm {
+		return pl.Plan()
+	}
+	pl.beginRun()
+	iter, btl, done := pl.replay()
+	if done {
+		return pl.finishRun(nil)
+	}
+	return pl.finishRun(pl.greedyIncremental(iter, btl))
+}
+
+// replay re-commits the journaled decision prefix that remains valid
+// under the new capacity. It returns the iteration and bottleneck the
+// live greedy loop must resume from, or done=true when the schedule
+// already fits.
+func (pl *Planner) replay() (iter, prevBtl int, done bool) {
+	j := &pl.jPrev
+	capB := pl.Opts.Capacity
+	for k := range j.entries {
+		e := &j.entries[k]
+		// Re-apply the journaled chain refresh for this iteration. The
+		// values are state-determined, so re-applying equals re-walking.
+		for _, u := range j.updates[e.chainLo:e.chainHi] {
+			tp := pl.plan.Tensors[int(u.id)]
+			tp.ChainBytes = u.bytes
+			pl.putTensorPlan(int(u.id), tp)
+			pl.curve.update(tp.Tensor)
+			pl.jCur.recordChainUpdate(int(u.id), u.bytes)
+		}
+		pl.statRederived += int64(e.rederived)
+		if skipped := pl.nRecompute - int(e.rederived); skipped > 0 {
+			pl.statSkipped += int64(skipped)
+		}
+		var peak int64
+		if pl.report != nil {
+			_, peak, _ = pl.curve.scan()
+			if n := len(pl.report.Decisions); n > 0 {
+				pl.report.Decisions[n-1].PeakAfter = peak
+			} else {
+				pl.report.InitialPeakBytes = peak
+			}
+		}
+		i, memAtI, found := pl.curve.bottleneck(capB, prevBtl)
+		if !found {
+			// Fits already: the remaining journaled decisions are the
+			// rolled-back ones — never committed under the new capacity.
+			return k, prevBtl, true
+		}
+		if i != int(e.bottleneck) {
+			// Divergence: from here on the cold run would score a
+			// different pool. Hand over to the live loop with every
+			// chain conservatively re-derived (the journal carries no
+			// dependency sets).
+			pl.markAllChainsDirty()
+			return k, i, false
+		}
+		pl.statIters++
+		pl.statCands += int64(e.scored)
+		pl.statReplayed++
+		c := e.cand
+		if pl.report != nil {
+			pl.report.Decisions = append(pl.report.Decisions,
+				pl.decisionRecord(k, i, memAtI-capB, peak, int(e.scored), int(e.rederived), &c))
+		}
+		delta := pl.applyCandidate(&c)
+		pl.jCur.recordDecision(i, &c, int(e.scored), int(e.rederived))
+		pl.noteChanges(delta)
+		pl.extraTime += c.deltaT
+		prevBtl = i
+	}
+	// Journal exhausted (typical under a tighter capacity): resume the
+	// live greedy loop where the previous run stopped.
+	pl.markAllChainsDirty()
+	return len(j.entries), prevBtl, false
+}

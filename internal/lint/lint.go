@@ -18,6 +18,9 @@
 //   - floateq: == / != between floating-point operands in planner
 //     scoring (package core).
 //   - errdrop: call statements that silently discard an error result.
+//   - scratchreuse: make / growing-append inside a loop in the pooled
+//     planner hot-path files (internal/core), where steady-state
+//     allocations erode the PlannerPool near-zero allocs/op budget.
 //
 // Findings can be suppressed with a `//lint:allow <rule>[ reason]`
 // comment: placed above the package clause it covers the whole file,
@@ -118,7 +121,7 @@ func (a *Analyzer) appliesTo(path string) bool {
 
 // Analyzers returns the project rule set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop}
+	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop, ScratchReuse}
 }
 
 // ByName resolves a comma-separated rule list ("maporder,errdrop").

@@ -405,6 +405,123 @@ func f(w io.Writer) { fmt.Fprintf(w, "x") }`,
 	}
 }
 
+func TestScratchReuse(t *testing.T) {
+	cases := []struct {
+		name     string
+		filename string
+		src      string
+		want     []string
+	}{
+		{
+			name:     "make inside a loop fires",
+			filename: "planner.go",
+			src: `package core
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 8)
+	}
+}`,
+			want: []string{"4:scratchreuse"},
+		},
+		{
+			name:     "growing append without a reset fires",
+			filename: "candindex.go",
+			src: `package core
+func f(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`,
+			want: []string{"5:scratchreuse"},
+		},
+		{
+			name:     "append into a length-reset buffer is the encouraged pattern",
+			filename: "planner.go",
+			src: `package core
+func f(xs []int, buf []int) []int {
+	var out []int
+	out = buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`,
+			want: nil,
+		},
+		{
+			name:     "append into a parameter is the caller-recycles pattern",
+			filename: "memsim.go",
+			src: `package core
+func f(xs []int, buf []int) []int {
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}`,
+			want: nil,
+		},
+		{
+			name:     "append into a slice pre-sized with make cap is exempt",
+			filename: "finalize.go",
+			src: `package core
+func f(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`,
+			want: nil,
+		},
+		{
+			name:     "local bound to a recycled arena row via [:0] is exempt",
+			filename: "candindex.go",
+			src: `package core
+func f(arena [][]int, xs []int, p int) []int {
+	row := arena[p][:0]
+	for _, x := range xs {
+		row = append(row, x)
+	}
+	return row
+}`,
+			want: nil,
+		},
+		{
+			name:     "loop inside a closure uses the closure's own resets",
+			filename: "replan.go",
+			src: `package core
+func f(xs []int) func() []int {
+	return func() []int {
+		var out []int
+		for _, x := range xs {
+			out = append(out, x)
+		}
+		return out
+	}
+}`,
+			want: []string{"6:scratchreuse"},
+		},
+		{
+			name:     "cold-path files in the same package are out of scope",
+			filename: "export.go",
+			src: `package core
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 8)
+	}
+}`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, runOn(t, corePath, tc.filename, tc.src, ScratchReuse), tc.want...)
+		})
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	cases := []struct {
 		name string

@@ -95,22 +95,136 @@ type Occupancy struct {
 	prof *Profile
 	// oc[u] in [0,1]: reserved fraction of op u's duration.
 	oc []float64
-	// freeCum[u] = Σ_{v<u} (1-oc[v])·T[v]; rebuilt lazily after Reserve
-	// so the planner's many candidate scores stay O(1).
-	freeCum []float64
-	dirty   bool
+	// The free-time prefix sums are block-decomposed so a reservation
+	// only invalidates the blocks it modified, not an O(n) suffix: a
+	// greedy planner reserves at early schedule indices every
+	// iteration, and a flat prefix-sum array would pay a full rebuild
+	// per decision. inner[u] is the free-time prefix within u's block
+	// (through u inclusive); blockCum[b] is the total free time of
+	// blocks before b. A query is then blockCum[u>>shift] + inner[u] —
+	// still O(1) — while a rebuild after k modified slots costs
+	// O(k·B + n/B).
+	inner    []float64
+	blockCum []float64
+	dirty    []bool
+	anyDirty bool
+	// full[b] counts the slots of block b that can never yield free
+	// time again: oc clamped to exactly 1, or T == 0. When it reaches
+	// the block's size, Reserve/ReserveBack hop the whole block instead
+	// of walking it slot by slot — the greedy planner saturates the
+	// early schedule first, and every later front-loaded reservation
+	// re-walks that saturated prefix. Counting only exact-1 slots keeps
+	// the skip behavior-preserving: a skipped slot's free time is
+	// exactly (1-1)·T = 0, so the walk body would have been a no-op.
+	full []int16
+	// invT[u] = 1/T[u] (0 for zero-duration ops): fill() books
+	// fractions with a multiply instead of a divide, which dominates
+	// its cost on the reserve hot path.
+	invT []float64
 }
+
+// occBlockShift sizes the decomposition blocks (64 slots): rebuild
+// cost per decision is ~B + n/B, minimized near √n for the schedule
+// lengths the planner sees (10²–10⁴ ops). Smaller blocks also let the
+// saturation skip in Reserve/ReserveBack engage sooner.
+const occBlockShift = 6
 
 // NewOccupancy creates an empty tracker for the profile.
 func NewOccupancy(p *Profile) *Occupancy {
-	return &Occupancy{prof: p, oc: make([]float64, len(p.T)), dirty: true}
+	o := &Occupancy{prof: p, oc: make([]float64, len(p.T))}
+	o.invT = make([]float64, len(p.T))
+	for u, t := range p.T {
+		if t > 0 {
+			o.invT[u] = 1 / t
+		}
+	}
+	o.resetFull()
+	return o
 }
 
 // Clone copies the tracker (the planner snapshots candidates).
 func (o *Occupancy) Clone() *Occupancy {
-	c := &Occupancy{prof: o.prof, oc: make([]float64, len(o.oc)), dirty: true}
+	c := &Occupancy{prof: o.prof, oc: make([]float64, len(o.oc))}
 	copy(c.oc, o.oc)
+	c.full = append([]int16(nil), o.full...)
+	c.invT = o.invT // immutable, shared
 	return c
+}
+
+// Reset clears every reservation so a pooled planner can reuse the
+// tracker across Plan() calls without reallocating.
+func (o *Occupancy) Reset() {
+	for u := range o.oc {
+		o.oc[u] = 0
+	}
+	o.resetFull()
+	o.markAllDirty()
+}
+
+// resetFull recounts the permanently-free-less slots per block: with
+// no reservations those are exactly the zero-duration ops.
+func (o *Occupancy) resetFull() {
+	n := len(o.oc)
+	nBlocks := (n + (1 << occBlockShift) - 1) >> occBlockShift
+	if o.full == nil {
+		o.full = make([]int16, nBlocks)
+	}
+	for b := range o.full {
+		o.full[b] = 0
+	}
+	for u, t := range o.prof.T {
+		if t == 0 {
+			o.full[u>>occBlockShift]++
+		}
+	}
+}
+
+// blockSize returns the number of slots block b covers.
+func (o *Occupancy) blockSize(b int) int16 {
+	size := len(o.oc) - b<<occBlockShift
+	if size > 1<<occBlockShift {
+		size = 1 << occBlockShift
+	}
+	return int16(size)
+}
+
+// fill books take seconds into slot u (take < free, T[u] > 0),
+// maintaining the saturation count.
+func (o *Occupancy) fill(u int, take float64) {
+	o.oc[u] += take * o.invT[u]
+	if o.oc[u] >= 1 {
+		o.oc[u] = 1
+		o.full[u>>occBlockShift]++
+	}
+	o.touch(u)
+}
+
+// saturate books a slot's entire remaining free time: oc lands on
+// exactly 1, not 1−ε — rounding take/T would leave a vanishing sliver
+// of free time that keeps the slot (and its block) off the saturation
+// skip forever, so every later reservation would re-walk the fully
+// booked prefix slot by slot.
+func (o *Occupancy) saturate(u int) {
+	if o.oc[u] < 1 {
+		o.oc[u] = 1
+		o.full[u>>occBlockShift]++
+	}
+	o.touch(u)
+}
+
+func (o *Occupancy) markAllDirty() {
+	for b := range o.dirty {
+		o.dirty[b] = true
+	}
+	o.anyDirty = true
+}
+
+// touch marks index u's block dirty.
+func (o *Occupancy) touch(u int) {
+	if o.dirty != nil {
+		o.dirty[u>>occBlockShift] = true
+	}
+	o.anyDirty = true
 }
 
 // Mean returns the time-weighted mean reservation Σ oc_u·T_u / Σ T_u —
@@ -128,19 +242,66 @@ func (o *Occupancy) Mean() float64 {
 }
 
 func (o *Occupancy) rebuild() {
-	if !o.dirty {
+	if !o.anyDirty && o.inner != nil {
 		return
 	}
-	if o.freeCum == nil {
-		o.freeCum = make([]float64, len(o.oc)+1)
+	n := len(o.oc)
+	nBlocks := (n + (1 << occBlockShift) - 1) >> occBlockShift
+	if o.inner == nil {
+		o.inner = make([]float64, n)
+		o.blockCum = make([]float64, nBlocks+1)
+		o.dirty = make([]bool, nBlocks)
+		for b := range o.dirty {
+			o.dirty[b] = true
+		}
 	}
-	for u := range o.oc {
-		o.freeCum[u+1] = o.freeCum[u] + (1-o.oc[u])*o.prof.T[u]
+	for b := 0; b < nBlocks; b++ {
+		if !o.dirty[b] {
+			continue
+		}
+		o.dirty[b] = false
+		lo := b << occBlockShift
+		hi := lo + (1 << occBlockShift)
+		if hi > n {
+			hi = n
+		}
+		var s float64
+		for u := lo; u < hi; u++ {
+			s += (1 - o.oc[u]) * o.prof.T[u]
+			o.inner[u] = s
+		}
 	}
-	o.dirty = false
+	var total float64
+	for b := 0; b < nBlocks; b++ {
+		o.blockCum[b] = total
+		hi := (b+1)<<occBlockShift - 1
+		if hi >= n {
+			hi = n - 1
+		}
+		total += o.inner[hi]
+	}
+	o.blockCum[nBlocks] = total
+	o.anyDirty = false
 }
 
-// Materialize forces the lazy freeCum rebuild now. Call it before
+// freePrefix returns Σ_{v<=u} (1-oc[v])·T[v]; callers rebuild first
+// and clamp u into [-1, n-1].
+func (o *Occupancy) freePrefix(u int) float64 {
+	if u < 0 {
+		return 0
+	}
+	return o.blockCum[u>>occBlockShift] + o.inner[u]
+}
+
+// FreePrefixAt exposes the free-time prefix sum through schedule index
+// u (u = -1 yields 0, u must be < len). FreeTime(a, b) equals
+// FreePrefixAt(b) − FreePrefixAt(a−1) for in-range arguments; hot
+// scoring loops use this form to hoist the bottleneck-side prefix out
+// of per-candidate work. The caller must Materialize() first and not
+// Reserve in between.
+func (o *Occupancy) FreePrefixAt(u int) float64 { return o.freePrefix(u) }
+
+// Materialize forces the lazy prefix-sum rebuild now. Call it before
 // handing the tracker to concurrent readers: FreeTime/Stall are
 // read-only afterwards (until the next Reserve), so a materialized
 // tracker can be shared by a scoring worker pool without locks.
@@ -159,7 +320,7 @@ func (o *Occupancy) FreeTime(from, to int) float64 {
 		return 0
 	}
 	o.rebuild()
-	return o.freeCum[to+1] - o.freeCum[from]
+	return o.freePrefix(to) - o.freePrefix(from-1)
 }
 
 // Stall returns the non-overlappable remainder of a transfer of the
@@ -182,23 +343,30 @@ func (o *Occupancy) Reserve(transfer float64, from, to int) (stall float64) {
 	if to >= len(o.oc) {
 		to = len(o.oc) - 1
 	}
-	o.dirty = true
-	for u := from; u <= to && transfer > 0; u++ {
-		free := (1 - o.oc[u]) * o.prof.T[u]
-		if free <= 0 {
+	for u := from; u <= to && transfer > 0; {
+		b := u >> occBlockShift
+		if o.full[b] == o.blockSize(b) {
+			// Every slot in the block is saturated (oc == 1) or has
+			// zero duration: nothing to take, hop the whole block.
+			u = (b + 1) << occBlockShift
 			continue
 		}
-		take := free
-		if transfer < take {
-			take = transfer
+		end := (b+1)<<occBlockShift - 1
+		if end > to {
+			end = to
 		}
-		if o.prof.T[u] > 0 {
-			o.oc[u] += take / o.prof.T[u]
-			if o.oc[u] > 1 {
-				o.oc[u] = 1
+		for ; u <= end && transfer > 0; u++ {
+			free := (1 - o.oc[u]) * o.prof.T[u]
+			if free > 0 {
+				if transfer < free {
+					o.fill(u, transfer)
+					transfer = 0
+				} else {
+					o.saturate(u)
+					transfer -= free
+				}
 			}
 		}
-		transfer -= take
 	}
 	return transfer
 }
@@ -219,24 +387,29 @@ func (o *Occupancy) ReserveBack(transfer float64, from, to int) (start int, stal
 	if to < from {
 		return from, transfer
 	}
-	o.dirty = true
-	for u := to; u >= from && transfer > 0; u-- {
-		free := (1 - o.oc[u]) * o.prof.T[u]
-		if free <= 0 {
+	for u := to; u >= from && transfer > 0; {
+		b := u >> occBlockShift
+		if o.full[b] == o.blockSize(b) {
+			u = b<<occBlockShift - 1
 			continue
 		}
-		take := free
-		if transfer < take {
-			take = transfer
+		lo := b << occBlockShift
+		if lo < from {
+			lo = from
 		}
-		if o.prof.T[u] > 0 {
-			o.oc[u] += take / o.prof.T[u]
-			if o.oc[u] > 1 {
-				o.oc[u] = 1
+		for ; u >= lo && transfer > 0; u-- {
+			free := (1 - o.oc[u]) * o.prof.T[u]
+			if free > 0 {
+				if transfer < free {
+					o.fill(u, transfer)
+					transfer = 0
+				} else {
+					o.saturate(u)
+					transfer -= free
+				}
+				start = u
 			}
 		}
-		transfer -= take
-		start = u
 	}
 	return start, transfer
 }

@@ -112,6 +112,13 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 		}
 	}
 
+	// One planner serves the whole ladder: rung 0 plans cold, escalated
+	// rungs warm-replan from the previous rung's plan — the tighter
+	// budget replays the journaled decision prefix and resumes the
+	// greedy loop live, producing a byte-identical plan to a cold run at
+	// the new margin for a fraction of the work.
+	pl := core.NewPlanner(in.G, in.Sched, in.Lv, in.Prof, in.Dev, cfg.Planner)
+	var prev *core.Plan
 	for i, m := range margins {
 		kind := "plan"
 		if i > 0 {
@@ -122,8 +129,14 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 		popts.SafetyMargin = m
 		popts.Obs = cfg.Obs
 		popts.CollectReport = cfg.CollectReport
-		pl := core.NewPlanner(in.G, in.Sched, in.Lv, in.Prof, in.Dev, popts)
-		plan, err := pl.Plan()
+		var plan *core.Plan
+		var err error
+		if i == 0 {
+			pl.SetOptions(popts)
+			plan, err = pl.Plan()
+		} else {
+			plan, err = pl.Replan(prev, popts)
+		}
 		if err != nil {
 			// Infeasible at this margin: tighter margins only shrink the
 			// budget further. Go straight to the fallback.
@@ -143,6 +156,7 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 			return out, rerr
 		}
 		fail(kind, m, rerr)
+		prev = plan
 	}
 
 	// Final rung: the swap-all baseline trades throughput for the

@@ -61,10 +61,11 @@ func canonicalPlan(p *core.Plan) string {
 // output — including infeasible outcomes, whose partial plans and
 // errors must also agree.
 func TestPlannerSerialParallelEquivalence(t *testing.T) {
-	// Force a real worker fan-out even on single-CPU machines: the
-	// planner sizes its pool from GOMAXPROCS at construction, and the
-	// goroutine path must be exercised (and race-checked), not just
-	// the workers==1 inline fallback.
+	// Historical: the incremental path once fanned scoring out to a
+	// GOMAXPROCS-sized worker pool. The fold is single-threaded now
+	// (the candidate index made scoring cheaper than handing it out),
+	// but the test still runs at GOMAXPROCS=4 so any future
+	// parallelism inherits the race check.
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	for _, model := range models.Names() {

@@ -1,0 +1,147 @@
+// Golden test for warm replanning: Replan(prev, opts) must be
+// byte-identical to a cold Plan() at the new options, whatever the
+// delta — tighter capacity (journal prefix replay + live resume),
+// looser capacity (rollback by not committing the journal tail),
+// escalated safety margins (the resilient ladder's path), chained
+// replans, and deltas Replan cannot warm-start from (a different
+// batch size means a different graph), where it must fall back to a
+// cold run rather than replay a stale journal.
+package tsplit_test
+
+import (
+	"testing"
+
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/experiments"
+	"tsplit/internal/models"
+)
+
+// batchStep is one "batch ±1 step" increment for the zoo models
+// (default batch 32).
+const batchStep = 8
+
+func coldPlan(t *testing.T, p *experiments.Prepared, opts core.Options) (*core.Plan, error) {
+	t.Helper()
+	return core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev, opts).Plan()
+}
+
+// requireSameOutcome compares a Replan outcome against a cold Plan()
+// outcome, including infeasible results (error text and partial plan
+// must agree too).
+func requireSameOutcome(t *testing.T, label string, wp *core.Plan, werr error, cp *core.Plan, cerr error) {
+	t.Helper()
+	if (werr == nil) != (cerr == nil) {
+		t.Fatalf("%s: error mismatch: warm=%v cold=%v", label, werr, cerr)
+	}
+	if werr != nil && werr.Error() != cerr.Error() {
+		t.Fatalf("%s: error text mismatch:\nwarm: %v\ncold: %v", label, werr, cerr)
+	}
+	if w, c := canonicalPlan(wp), canonicalPlan(cp); w != c {
+		t.Errorf("%s: plans differ\n--- warm ---\n%s--- cold ---\n%s", label, w, c)
+	}
+}
+
+func TestReplanMatchesColdPlan(t *testing.T) {
+	for _, model := range models.Names() {
+		p, err := experiments.Prepare(model, models.Config{}, device.TitanRTX)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", model, err)
+		}
+		capacity := p.Lv.Peak * 75 / 100
+		base := core.Options{Capacity: capacity, FragmentationReserve: -1}
+		pl := core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev, base)
+		prev, err := pl.Plan()
+		if err != nil {
+			t.Fatalf("%s: base plan: %v", model, err)
+		}
+
+		deltas := []struct {
+			name string
+			opts core.Options
+		}{
+			{"cap-10%", core.Options{Capacity: capacity * 90 / 100, FragmentationReserve: -1}},
+			{"cap+10%", core.Options{Capacity: capacity * 110 / 100, FragmentationReserve: -1}},
+			{"margin+0.10", core.Options{Capacity: capacity, FragmentationReserve: -1, SafetyMargin: 0.10}},
+			{"margin+0.20", core.Options{Capacity: capacity, FragmentationReserve: -1, SafetyMargin: 0.20}},
+		}
+		for _, d := range deltas {
+			wp, werr := pl.Replan(prev, d.opts)
+			cp, cerr := coldPlan(t, p, d.opts)
+			requireSameOutcome(t, model+" "+d.name, wp, werr, cp, cerr)
+			// Restore the journal/lastPlan to the base run so every delta
+			// warm-starts from the same prev.
+			if prev, err = pl.Replan(wp, base); err != nil {
+				t.Fatalf("%s: re-base after %s: %v", model, d.name, err)
+			}
+			if c := canonicalPlan(prev); c != canonicalPlan(mustPlan(t, p, base)) {
+				t.Fatalf("%s: re-base after %s diverged", model, d.name)
+			}
+		}
+
+		// Chained replans: tighter, then tighter again, then back out.
+		chain := prev
+		for _, d := range []core.Options{
+			{Capacity: capacity * 90 / 100, FragmentationReserve: -1},
+			{Capacity: capacity * 80 / 100, FragmentationReserve: -1},
+			{Capacity: capacity, FragmentationReserve: -1},
+		} {
+			wp, werr := pl.Replan(chain, d)
+			cp, cerr := coldPlan(t, p, d)
+			requireSameOutcome(t, model+" chained", wp, werr, cp, cerr)
+			if werr != nil {
+				break
+			}
+			chain = wp
+		}
+
+		// Batch ±1 step is a different graph: a fresh planner must treat
+		// the old plan as foreign and fall back to a cold run.
+		for _, batch := range []int{32 - batchStep, 32 + batchStep} {
+			pb, err := experiments.Prepare(model, models.Config{BatchSize: batch}, device.TitanRTX)
+			if err != nil {
+				t.Fatalf("%s: prepare batch=%d: %v", model, batch, err)
+			}
+			opts := core.Options{Capacity: pb.Lv.Peak * 75 / 100, FragmentationReserve: -1}
+			plb := core.NewPlanner(pb.G, pb.Sched, pb.Lv, pb.Prof, pb.Dev, opts)
+			wp, werr := plb.Replan(prev, opts)
+			cp, cerr := coldPlan(t, pb, opts)
+			requireSameOutcome(t, model+" batch", wp, werr, cp, cerr)
+		}
+	}
+}
+
+func mustPlan(t *testing.T, p *experiments.Prepared, opts core.Options) *core.Plan {
+	t.Helper()
+	plan, err := coldPlan(t, p, opts)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return plan
+}
+
+// TestReplanVerifyClean runs core.Verify over warm-replanned plans:
+// replay shortcuts must not bypass any safety invariant.
+func TestReplanVerifyClean(t *testing.T) {
+	for _, model := range models.Names() {
+		p, err := experiments.Prepare(model, models.Config{}, device.TitanRTX)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", model, err)
+		}
+		capacity := p.Lv.Peak * 75 / 100
+		pl := core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev,
+			core.Options{Capacity: capacity, FragmentationReserve: -1})
+		prev, err := pl.Plan()
+		if err != nil {
+			t.Fatalf("%s: base plan: %v", model, err)
+		}
+		opts := core.Options{Capacity: capacity * 90 / 100, FragmentationReserve: -1}
+		plan, err := pl.Replan(prev, opts)
+		if err != nil {
+			continue // infeasible at the tighter budget is a valid outcome
+		}
+		if vs := core.VerifyAt(plan, p.G, p.Sched, p.Lv, opts.Capacity); len(vs) != 0 {
+			t.Errorf("%s: warm replan violates invariants: %v", model, vs)
+		}
+	}
+}

@@ -2,8 +2,15 @@
 # bench_guard.sh — planner hot-path regression guard.
 #
 # Runs the Plan() benchmarks (with the default nil Recorder, i.e. the
-# observability no-op path) and fails if any model's allocs/op regresses
-# more than 10% against the recorded baseline in bench_results.txt.
+# observability no-op path) and fails if any model regresses against
+# the recorded baseline in bench_results.txt:
+#
+#   - allocs/op: > +10% (allocation counts are deterministic, so the
+#     tolerance only absorbs map-rehash jitter);
+#   - ns/op:     > +50% (wall time on a shared box is noisy; the wide
+#     bar still catches an accidental return to full-rebuild scans,
+#     which cost 4-10x).
+#
 # The baseline is the LAST occurrence of each benchmark name in that
 # file, so appending a fresh measurement section updates the bar.
 set -eu
@@ -18,30 +25,44 @@ fi
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
+# 100 iterations: the guarded benchmarks are sub-millisecond each, and
+# at 5x the planner's one-time arena warm-up (first Plan() on a fresh
+# planner) dominated allocs/op; 100x measures the steady state the
+# baseline records.
 GOMAXPROCS=1 go test -run '^$' \
     -bench 'BenchmarkPlannerPlan_(VGG16|ResNet50|BERTLarge)$' \
-    -benchtime 5x . >"$OUT" 2>&1 || { cat "$OUT"; exit 1; }
+    -benchtime 100x . >"$OUT" 2>&1 || { cat "$OUT"; exit 1; }
 
 awk '
-    function allocs(    i) { for (i = 2; i <= NF; i++) if ($i == "allocs/op") return $(i-1); return -1 }
+    function field(unit,    i) { for (i = 2; i <= NF; i++) if ($i == unit) return $(i-1); return -1 }
     FNR == NR {
-        if ($1 ~ /^BenchmarkPlannerPlan_/ && allocs() >= 0) base[$1] = allocs()
+        if ($1 ~ /^BenchmarkPlannerPlan_/ && field("allocs/op") >= 0) {
+            base_allocs[$1] = field("allocs/op")
+            base_ns[$1] = field("ns/op")
+        }
         next
     }
     $1 ~ /^BenchmarkPlannerPlan_/ {
         name = $1; sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-        cur = allocs()
-        if (cur < 0) next
+        allocs = field("allocs/op"); ns = field("ns/op")
+        if (allocs < 0) next
         seen++
-        if (!(name in base)) {
+        if (!(name in base_allocs)) {
             printf "bench-guard: no baseline for %s in %s\n", name, ARGV[1]
             bad = 1; next
         }
-        if (cur > base[name] * 1.10) {
-            printf "bench-guard: FAIL %-32s %6d allocs/op > baseline %d +10%%\n", name, cur, base[name]
-            bad = 1
-        } else {
-            printf "bench-guard: ok   %-32s %6d allocs/op (baseline %d)\n", name, cur, base[name]
+        ok = 1
+        if (allocs > base_allocs[name] * 1.10) {
+            printf "bench-guard: FAIL %-32s %8d allocs/op > baseline %d +10%%\n", name, allocs, base_allocs[name]
+            bad = 1; ok = 0
+        }
+        if (base_ns[name] > 0 && ns > base_ns[name] * 1.50) {
+            printf "bench-guard: FAIL %-32s %8d ns/op > baseline %d +50%%\n", name, ns, base_ns[name]
+            bad = 1; ok = 0
+        }
+        if (ok) {
+            printf "bench-guard: ok   %-32s %8d ns/op, %6d allocs/op (baseline %d ns, %d allocs)\n", \
+                name, ns, allocs, base_ns[name], base_allocs[name]
         }
     }
     END {

@@ -319,19 +319,33 @@ func (w *Workload) AutoPlan(opts PlanOptions) (*Plan, Report, error) {
 	if cap == 0 {
 		cap = w.Dev.MemBytes
 	}
+	// One planner serves the whole reserve ladder: retries warm-replan
+	// from the previous attempt (the fragmentation reserve is part of
+	// the capacity trio Replan can change), replaying the still-valid
+	// decision prefix instead of replanning from scratch.
+	pl := core.NewPlanner(w.G, w.Sched, w.Lv, w.Prof, w.Dev, core.Options{})
+	var prev *Plan
 	for _, reserve := range []int64{0, cap * 6 / 100, cap * 13 / 100, cap * 21 / 100, -1} {
-		pl := core.NewPlanner(w.G, w.Sched, w.Lv, w.Prof, w.Dev, core.Options{
+		popts := core.Options{
 			Capacity:             opts.CapacityBytes,
 			DisableSplit:         opts.DisableSplit,
 			PNums:                opts.PNums,
 			FragmentationReserve: reserve,
 			Obs:                  opts.Observe,
-		})
-		plan, err := pl.Plan()
+		}
+		var plan *Plan
+		var err error
+		if prev == nil {
+			pl.SetOptions(popts)
+			plan, err = pl.Plan()
+		} else {
+			plan, err = pl.Replan(prev, popts)
+		}
 		if err != nil {
 			lastErr = err
 			continue
 		}
+		prev = plan
 		rep, err := w.Run(plan)
 		if err != nil {
 			lastErr = err
