@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt lint build test race bench bench-guard verify-plans cover ci
+.PHONY: all vet fmt lint build test race bench bench-guard verify-plans cover doctor-smoke ci
 
 all: ci
 
@@ -44,9 +44,15 @@ bench-guard:
 verify-plans:
 	$(GO) test -run 'TestVerifyPlanAllModels' -count=1 .
 
-# Statement-coverage floor (80%) on the planner core and the runtime
-# simulator — the packages the differential/fault test layers defend.
+# Statement-coverage floor (80%) on the planner core, the runtime
+# simulator, and the observability layer.
 cover:
 	sh scripts/cover_gate.sh
 
-ci: vet fmt lint build race bench bench-guard verify-plans cover
+# Postmortem pipeline smoke: bert-large under faults with a flight
+# recorder -> dump file -> tsplit-doctor -json parses with a non-empty
+# phase breakdown.
+doctor-smoke:
+	sh scripts/doctor_smoke.sh
+
+ci: vet fmt lint build race bench bench-guard verify-plans cover doctor-smoke

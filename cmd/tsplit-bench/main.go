@@ -25,6 +25,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
 	quick := flag.Bool("quick", false, "trim scale-search bounds for a fast run")
 	metrics := flag.String("metrics", "", "write Prometheus text metrics for the whole run to this file (\"-\" = stdout)")
+	spans := flag.String("spans", "", "write per-cell sweep spans as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -44,6 +45,25 @@ func main() {
 			}
 			if err := reg.WritePrometheus(out); err != nil {
 				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			}
+		}()
+	}
+	if *spans != "" {
+		tr := obs.NewTracer(nil)
+		experiments.Trace = tr
+		defer func() {
+			out := os.Stdout
+			if *spans != "-" {
+				f, err := os.Create(*spans)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spans: %v\n", err)
+					return
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := tr.WriteJSON(out); err != nil {
+				fmt.Fprintf(os.Stderr, "spans: %v\n", err)
 			}
 		}()
 	}

@@ -56,10 +56,61 @@ func buildNet(batch int) (*graph.Graph, *graph.Tensor) {
 // outputs groups the observability flags shared by both modes.
 type outputs struct {
 	metrics, trace, report string
+	spans, flightDump      string
 	reg                    *tsplit.Registry
+	tr                     *tsplit.Tracer
+	fl                     *tsplit.Flight
+	dumper                 *tsplit.Dumper
 }
 
 func (o *outputs) wantTrace() bool { return o.trace != "" }
+
+// initObs builds the tracer, flight ring, and dumper the requested
+// artifacts need. All three stay nil (free) unless asked for. -trace
+// alone does NOT enable the tracer: span durations are wall-clock,
+// and a spanless trace must stay byte-reproducible run to run under a
+// fixed fault seed. Combine -trace with -spans to get the spans lane.
+func (o *outputs) initObs(flightSize int) {
+	if o.spans != "" || o.flightDump != "" {
+		o.tr = tsplit.NewTracer()
+	}
+	if o.flightDump != "" {
+		o.fl = tsplit.NewFlight(flightSize)
+		o.dumper = &tsplit.Dumper{
+			Flight:   o.fl,
+			Registry: o.reg,
+			Tracer:   o.tr,
+			Sink:     tsplit.FileSink(o.flightDump),
+		}
+	}
+}
+
+// finishDump writes a final postmortem snapshot unless a ladder
+// escalation already triggered one mid-run, so -flight-dump always
+// leaves an artifact for tsplit-doctor.
+func (o *outputs) finishDump() {
+	if o.dumper == nil {
+		return
+	}
+	if len(o.dumper.Triggers()) == 0 {
+		o.dumper.Trigger("run completed")
+	}
+	if err := o.dumper.Err(); err != nil {
+		log.Fatalf("writing flight dump: %v", err)
+	}
+	fmt.Printf("flight dump (%v) written to %s — analyze with tsplit-doctor -dump\n",
+		o.dumper.Triggers(), o.flightDump)
+}
+
+func (o *outputs) writeSpans() {
+	if o.spans == "" {
+		return
+	}
+	if err := writeFile(o.spans, o.tr.WriteJSON); err != nil {
+		log.Fatalf("writing spans: %v", err)
+	}
+	fmt.Printf("span tree written to %s\n", o.spans)
+}
 
 // writeFile opens path ("-" = stdout) and hands it to fn.
 func writeFile(path string, fn func(io.Writer) error) error {
@@ -102,7 +153,7 @@ func (o *outputs) writeTrace(timeline []sim.TimelinePoint) {
 		return
 	}
 	if err := writeFile(o.trace, func(w io.Writer) error {
-		return sim.WriteChromeTrace(w, timeline)
+		return sim.WriteChromeTraceSpans(w, timeline, o.tr.Tree())
 	}); err != nil {
 		log.Fatalf("writing trace: %v", err)
 	}
@@ -137,7 +188,10 @@ func runZooFaulted(model string, batch int, budget float64, fo faultOpts, out *o
 		opts = append(opts, tsplit.WithTimeline())
 	}
 	outcome, rep, err := w.RunResilient(
-		tsplit.PlanOptions{CapacityBytes: cap, Observe: out.reg},
+		tsplit.PlanOptions{
+			CapacityBytes: cap, Observe: out.reg,
+			Trace: out.tr, Flight: out.fl, Postmortem: out.dumper,
+		},
 		tsplit.FaultConfig{Seed: fo.seed, Severity: fo.severity},
 		opts...)
 	if err != nil {
@@ -158,7 +212,9 @@ func runZooFaulted(model string, batch int, budget float64, fo faultOpts, out *o
 
 	out.writeReport(outcome.Report)
 	out.writeTrace(rep.Raw.Timeline)
+	out.writeSpans()
 	out.writeMetrics()
+	out.finishDump()
 }
 
 // runZoo plans and simulates one iteration of a zoo model under a
@@ -176,14 +232,16 @@ func runZoo(model string, batch int, budget float64, out *outputs) {
 		model, batch, float64(w.BaselinePeakBytes())/(1<<30), float64(cap)/(1<<30))
 
 	plan, report, err := w.PlanWithReport(tsplit.PlanOptions{
-		CapacityBytes: cap, Observe: out.reg,
+		CapacityBytes: cap, Observe: out.reg, Trace: out.tr, Flight: out.fl,
 	})
 	if err != nil {
 		log.Fatalf("planning: %v", err)
 	}
 	fmt.Println(plan)
 
-	opts := []tsplit.RunOption{tsplit.Observe(out.reg)}
+	opts := []tsplit.RunOption{
+		tsplit.Observe(out.reg), tsplit.WithTrace(out.tr), tsplit.WithFlight(out.fl),
+	}
 	if out.wantTrace() {
 		opts = append(opts, tsplit.WithTimeline())
 	}
@@ -196,7 +254,9 @@ func runZoo(model string, batch int, budget float64, out *outputs) {
 
 	out.writeReport(report)
 	out.writeTrace(rep.Raw.Timeline)
+	out.writeSpans()
 	out.writeMetrics()
+	out.finishDump()
 }
 
 func main() {
@@ -207,12 +267,19 @@ func main() {
 	metrics := flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" = stdout)")
 	trace := flag.String("trace", "", "write a Chrome/Perfetto trace of the simulated iteration to this file")
 	planReport := flag.String("plan-report", "", "write the planner's JSON decision report to this file (\"-\" = stdout)")
+	spans := flag.String("spans", "", "write the span tree (planner phases, per-op execution) as JSON to this file (\"-\" = stdout)")
+	flightDump := flag.String("flight-dump", "", "write a postmortem flight dump to this file (on ladder escalation, else at exit) for tsplit-doctor")
+	flightSize := flag.Int("flight-size", 0, "flight-ring capacity in events (0 = default)")
 	faultsOn := flag.Bool("faults", false, "inject a deterministic hostile environment (op noise, PCIe degradation, transient transfer failures, capacity shrink) and run the degradation ladder")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed; same seed + severity replays the same faults byte for byte")
 	faultSeverity := flag.Float64("fault-severity", tsplit.DefaultFaultSeverity, "fault severity in (0, 1]")
 	flag.Parse()
 
-	out := &outputs{metrics: *metrics, trace: *trace, report: *planReport, reg: tsplit.NewRegistry()}
+	out := &outputs{
+		metrics: *metrics, trace: *trace, report: *planReport,
+		spans: *spans, flightDump: *flightDump, reg: tsplit.NewRegistry(),
+	}
+	out.initObs(*flightSize)
 
 	if *model != "" {
 		if *faultsOn {
@@ -239,6 +306,7 @@ func main() {
 	pl := core.NewPlanner(g, sched, lv, prof, tsplit.TitanRTX, core.Options{
 		Capacity: cap * 85 / 100, FragmentationReserve: -1,
 		Obs: out.reg, CollectReport: out.report != "",
+		Trace: out.tr, Flight: out.fl,
 	})
 	plan, err := pl.Plan()
 	if err != nil {
@@ -286,11 +354,14 @@ func main() {
 	if out.wantTrace() {
 		res, err := sim.New(g, sched, lv, plan, tsplit.TitanRTX, sim.Options{
 			Recompute: sim.LRURecompute, CollectTimeline: true, Obs: out.reg,
+			Trace: out.tr, Flight: out.fl,
 		}).Run()
 		if err != nil {
 			log.Fatalf("simulating for trace: %v", err)
 		}
 		out.writeTrace(res.Timeline)
 	}
+	out.writeSpans()
 	out.writeMetrics()
+	out.finishDump()
 }

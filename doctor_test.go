@@ -1,0 +1,117 @@
+// Acceptance test for the postmortem pipeline: the planner phase
+// spans recorded during a bert-large cold Plan() and a warm Replan()
+// must survive the dump → Diagnose round trip with the headline
+// result intact — warm replanning (journal replay + live resume)
+// costs a small fraction of a cold plan. Timing-threshold checks
+// retry with fresh measurements before failing, and compare medians,
+// so scheduler noise cannot flake the suite.
+package tsplit_test
+
+import (
+	"testing"
+
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/experiments"
+	"tsplit/internal/models"
+	"tsplit/internal/obs"
+)
+
+func TestDoctorColdVsWarmPhaseBreakdown(t *testing.T) {
+	p, err := experiments.Prepare("bert-large", models.Config{BatchSize: 64}, device.TitanRTX)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	const rounds = 5
+	const maxAttempts = 3
+	for attempt := 1; ; attempt++ {
+		tr := obs.NewTracer(nil)
+		reg := obs.NewRegistry()
+		fl := obs.NewFlight(0, nil)
+		// BenchmarkPlannerReplanWarm's shape: plan tight, de-escalate to
+		// +2% capacity once, then keep replanning at the loose budget —
+		// the steady state where the journal prefix replays until the
+		// curve fits, with no candidate scoring at all. That fits path
+		// is what the <15% claim rests on; the first (divergent) replan
+		// is in the samples too and the median absorbs it.
+		tight := core.Options{
+			Capacity: p.Lv.Peak * 58 / 100, FragmentationReserve: -1,
+			Obs: reg, Trace: tr, Flight: fl,
+		}
+		loose := tight
+		loose.Capacity = p.Lv.Peak * 60 / 100
+
+		for r := 0; r < rounds; r++ {
+			if _, err := core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev, tight).Plan(); err != nil {
+				t.Fatalf("cold plan: %v", err)
+			}
+		}
+		pl := core.NewPlanner(p.G, p.Sched, p.Lv, p.Prof, p.Dev, tight)
+		prev, err := pl.Plan()
+		if err != nil {
+			t.Fatalf("warm-chain base plan: %v", err)
+		}
+		for r := 0; r < rounds; r++ {
+			if prev, err = pl.Replan(prev, loose); err != nil {
+				t.Fatalf("warm replan %d: %v", r, err)
+			}
+		}
+
+		dump := &obs.Dump{
+			Reason:  "cold vs warm acceptance",
+			Events:  fl.Events(),
+			Metrics: reg.Snapshot(),
+			Spans:   tr.Tree(),
+		}
+		diag := obs.Diagnose(dump, nil)
+
+		phases := map[string]obs.PhaseStat{}
+		for _, ph := range diag.Phases {
+			phases[ph.Name] = ph
+		}
+		cold, ok := phases["planner.plan"]
+		if !ok || cold.Count != rounds+1 {
+			t.Fatalf("planner.plan phase missing or miscounted: %+v", diag.Phases)
+		}
+		warm, ok := phases["planner.replan"]
+		if !ok || warm.Count != rounds {
+			t.Fatalf("planner.replan phase missing or miscounted: %+v", diag.Phases)
+		}
+		replay, ok := phases["planner.replay"]
+		if !ok || replay.Count != rounds {
+			t.Fatalf("planner.replay phase missing or miscounted: %+v", diag.Phases)
+		}
+		for _, name := range []string{"planner.bottleneck", "planner.fold", "planner.finalize", "planner.index.build"} {
+			if _, ok := phases[name]; !ok {
+				t.Fatalf("phase %q missing from the breakdown: %+v", name, diag.Phases)
+			}
+		}
+
+		// The replan analysis must see every Replan as a warm journal
+		// replay, never a cold fallback.
+		if diag.Replan == nil {
+			t.Fatal("no replan stats in the diagnosis")
+		}
+		if diag.Replan.WarmReplans != rounds || diag.Replan.ColdReplans != 0 {
+			t.Fatalf("replans: %d warm / %d cold, want %d / 0",
+				diag.Replan.WarmReplans, diag.Replan.ColdReplans, rounds)
+		}
+		if diag.Replan.DecisionsReplayed == 0 {
+			t.Fatal("warm replans replayed no journal decisions")
+		}
+
+		// Headline: median warm-replan latency under 15% of the median
+		// cold plan, with the replay phase inside the replan span.
+		if replay.P50Micros > warm.P50Micros {
+			t.Fatalf("replay p50 %dµs exceeds its parent replan p50 %dµs",
+				replay.P50Micros, warm.P50Micros)
+		}
+		if warm.P50Micros*100 < cold.P50Micros*15 {
+			return
+		}
+		if attempt == maxAttempts {
+			t.Fatalf("warm replan p50 %dµs is not <15%% of cold plan p50 %dµs after %d attempts",
+				warm.P50Micros, cold.P50Micros, maxAttempts)
+		}
+	}
+}

@@ -302,7 +302,9 @@ func (ci *candIndex) deactivate() { ci.active = false }
 // backwards when they grow memory at an earlier position).
 func (ci *candIndex) ensure(i int) {
 	if !ci.active {
+		sp := ci.pl.runSpan.StartSpan("planner.index.build")
 		ci.rebuildAll(i)
+		sp.End()
 		return
 	}
 	if i == ci.i {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"tsplit/internal/device"
@@ -84,6 +85,15 @@ type Options struct {
 	// CollectReport makes Plan() assemble a PlanReport (per-iteration
 	// decision log), retrievable with Planner.Report().
 	CollectReport bool
+	// Trace receives phase spans: the run root ("planner.plan" or
+	// "planner.replan"), the candidate-index build, each iteration's
+	// bottleneck search and winner fold, journal replay, and finalize.
+	// Nil disables tracing; like Obs, the nil path must add no
+	// allocations to Plan() (bench-guard).
+	Trace *obs.Tracer
+	// Flight receives structured events — plan decisions, failures,
+	// replay divergences — on the postmortem ring buffer. Nil disables.
+	Flight *obs.Flight
 
 	// defaulted marks an Options value that already went through
 	// withDefaults: applying defaults twice must not subtract the
@@ -144,7 +154,8 @@ func (o Options) withDefaults(dev device.Device) Options {
 // capacity trio (Capacity, SafetyMargin, FragmentationReserve) is
 // deliberately exempt — withDefaults folds all three into the final
 // Capacity, and capacity changes are exactly what warm replanning is
-// for. Obs/Clock/CollectReport only shape reporting, never the plan.
+// for. Obs/Clock/CollectReport/Trace/Flight only shape reporting,
+// never the plan, so they are not compared either.
 func warmCompatible(prev, next Options) bool {
 	if prev.DisableSplit != next.DisableSplit ||
 		prev.MaxRecomputeChain != next.MaxRecomputeChain ||
@@ -265,6 +276,10 @@ type Planner struct {
 	// chains the refresh passes are responsible for.
 	nRecompute int
 	statStart  time.Time
+	// runSpan is the root span of the run in flight; phase spans
+	// attach under it (including from candindex.go). Nil whenever
+	// Options.Trace is nil — the nil-span no-op path.
+	runSpan *obs.Span
 }
 
 // NewPlanner assembles a planner for one (graph, schedule, device).
@@ -388,11 +403,19 @@ var ErrInfeasible = fmt.Errorf("core: no strategy can fit the schedule in device
 // failure the partial plan built so far is returned alongside the
 // error, for diagnostics.
 func (pl *Planner) Plan() (*Plan, error) {
+	sp := pl.Opts.Trace.StartSpan("planner.plan")
+	pl.runSpan = sp
 	pl.beginRun()
+	var runErr error
 	if pl.incremental {
-		return pl.finishRun(pl.greedyIncremental(0, 0))
+		runErr = pl.greedyIncremental(0, 0)
+	} else {
+		runErr = pl.greedySerial()
 	}
-	return pl.finishRun(pl.greedySerial())
+	plan, err := pl.finishRun(runErr)
+	sp.End()
+	pl.runSpan = nil
+	return plan, err
 }
 
 // beginRun resets all per-run state in place: a fresh Plan (the only
@@ -476,6 +499,7 @@ func (pl *Planner) finishRun(err error) (*Plan, error) {
 		pl.lastPlan = nil
 		return pl.plan, err
 	}
+	fsp := pl.runSpan.StartSpan("planner.finalize")
 	if !pl.Opts.DisableSplit && !pl.Opts.DisableEarlyOut {
 		pl.earlyOutPass()
 	}
@@ -485,6 +509,7 @@ func (pl *Planner) finishRun(err error) (*Plan, error) {
 	} else {
 		_, peak, _ = pl.ms.Curve(pl.plan)
 	}
+	fsp.End()
 	pl.plan.PredictedPeak = peak
 	pl.plan.PredictedTime = pl.Prof.Total() + pl.extraTime
 	pl.finishObservation(peak)
@@ -523,13 +548,17 @@ func (pl *Planner) greedySerial() error {
 			return nil
 		}
 		// First bottleneck position (Algorithm 2 walks the schedule).
+		bsp := pl.runSpan.StartSpan("planner.bottleneck")
 		i := 0
 		for ; i < len(memAt); i++ {
 			if memAt[i] > capB {
 				break
 			}
 		}
+		bsp.End()
+		fsp := pl.runSpan.StartSpan("planner.fold")
 		best, scored := pl.bestCandidate(i)
+		fsp.End()
 		pl.statCands += int64(scored)
 		if best == nil {
 			pl.countFailure("infeasible")
@@ -542,6 +571,7 @@ func (pl *Planner) greedySerial() error {
 				pl.decisionRecord(iter, i, memAt[i]-capB, peak, scored, rederived, best))
 		}
 		pl.applyCandidate(best)
+		pl.recordDecisionEvent(iter, i, best)
 		pl.extraTime += best.deltaT
 	}
 }
@@ -574,11 +604,15 @@ func (pl *Planner) greedyIncremental(startIter, prevBtl int) error {
 				pl.report.InitialPeakBytes = peak
 			}
 		}
+		bsp := pl.runSpan.StartSpan("planner.bottleneck")
 		i, memAtI, found := pl.curve.bottleneck(capB, prevBtl)
+		bsp.End()
 		if !found {
 			return nil
 		}
+		fsp := pl.runSpan.StartSpan("planner.fold")
 		best, scored := pl.bestIncremental(i)
+		fsp.End()
 		pl.statCands += int64(scored)
 		if best == nil {
 			pl.countFailure("infeasible")
@@ -593,6 +627,7 @@ func (pl *Planner) greedyIncremental(startIter, prevBtl int) error {
 		delta := pl.applyCandidate(best)
 		pl.jCur.recordDecision(i, best, scored, rederived)
 		pl.noteChanges(delta)
+		pl.recordDecisionEvent(iter, i, best)
 		pl.extraTime += best.deltaT
 		prevBtl = i
 	}
@@ -637,11 +672,33 @@ func (pl *Planner) decisionRecord(iter, i int, over, peak int64, scored, rederiv
 	return d
 }
 
-// countFailure records a failed Plan() outcome on the Recorder.
+// countFailure records a failed Plan() outcome on the Recorder and
+// the flight ring.
 func (pl *Planner) countFailure(reason string) {
 	if rec := pl.Opts.Obs; rec != nil {
 		rec.Add("tsplit_planner_failures_total", 1, obs.L("reason", reason))
 	}
+	pl.Opts.Flight.Record("plan.failure", reason)
+}
+
+// recordDecisionEvent posts one committed greedy decision to the
+// flight ring. Guarded so the nil-Flight hot path pays only the nil
+// check (the variadic attrs would otherwise allocate per iteration).
+func (pl *Planner) recordDecisionEvent(iter, i int, c *candidate) {
+	fl := pl.Opts.Flight
+	if fl == nil {
+		return
+	}
+	subject := ""
+	if c.isSplit {
+		subject = c.split.Op.Name
+	} else if c.t != nil {
+		subject = c.t.Name
+	}
+	fl.Record("plan.decision", subject,
+		obs.L("kind", decisionKind(c)),
+		obs.L("iter", strconv.Itoa(iter)),
+		obs.L("bottleneck", pl.Sched.Ops[i].Name))
 }
 
 // finishObservation finalizes the report and emits the aggregated

@@ -1,6 +1,10 @@
 package core
 
-import "tsplit/internal/obs"
+import (
+	"strconv"
+
+	"tsplit/internal/obs"
+)
 
 // Warm replanning (DESIGN.md §7). A completed incremental run keeps a
 // journal: per greedy iteration, the chain-refresh results applied
@@ -129,14 +133,21 @@ func (pl *Planner) Replan(prev *Plan, opts Options) (*Plan, error) {
 		rec.Add("tsplit_planner_replans_total", 1, obs.L("mode", mode))
 	}
 	if !warm {
+		pl.Opts.Flight.Record("replan.cold", "no replayable journal")
 		return pl.Plan()
 	}
+	sp := pl.Opts.Trace.StartSpan("planner.replan")
+	pl.runSpan = sp
 	pl.beginRun()
 	iter, btl, done := pl.replay()
-	if done {
-		return pl.finishRun(nil)
+	var runErr error
+	if !done {
+		runErr = pl.greedyIncremental(iter, btl)
 	}
-	return pl.finishRun(pl.greedyIncremental(iter, btl))
+	plan, err := pl.finishRun(runErr)
+	sp.End()
+	pl.runSpan = nil
+	return plan, err
 }
 
 // replay re-commits the journaled decision prefix that remains valid
@@ -144,6 +155,8 @@ func (pl *Planner) Replan(prev *Plan, opts Options) (*Plan, error) {
 // live greedy loop must resume from, or done=true when the schedule
 // already fits.
 func (pl *Planner) replay() (iter, prevBtl int, done bool) {
+	sp := pl.runSpan.StartSpan("planner.replay")
+	defer sp.End()
 	j := &pl.jPrev
 	capB := pl.Opts.Capacity
 	for k := range j.entries {
@@ -174,6 +187,9 @@ func (pl *Planner) replay() (iter, prevBtl int, done bool) {
 		if !found {
 			// Fits already: the remaining journaled decisions are the
 			// rolled-back ones — never committed under the new capacity.
+			sp.SetAttr("outcome", "fits")
+			sp.SetAttrInt("replayed", int64(k))
+			sp.SetAttrInt("rolled_back", int64(len(j.entries)-k))
 			return k, prevBtl, true
 		}
 		if i != int(e.bottleneck) {
@@ -181,6 +197,14 @@ func (pl *Planner) replay() (iter, prevBtl int, done bool) {
 			// different pool. Hand over to the live loop with every
 			// chain conservatively re-derived (the journal carries no
 			// dependency sets).
+			sp.SetAttr("outcome", "diverged")
+			sp.SetAttrInt("replayed", int64(k))
+			if fl := pl.Opts.Flight; fl != nil {
+				fl.Record("replan.diverge", "bottleneck moved",
+					obs.L("iter", strconv.Itoa(k)),
+					obs.L("journaled", strconv.Itoa(int(e.bottleneck))),
+					obs.L("actual", strconv.Itoa(i)))
+			}
 			pl.markAllChainsDirty()
 			return k, i, false
 		}
@@ -195,11 +219,14 @@ func (pl *Planner) replay() (iter, prevBtl int, done bool) {
 		delta := pl.applyCandidate(&c)
 		pl.jCur.recordDecision(i, &c, int(e.scored), int(e.rederived))
 		pl.noteChanges(delta)
+		pl.recordDecisionEvent(k, i, &c)
 		pl.extraTime += c.deltaT
 		prevBtl = i
 	}
 	// Journal exhausted (typical under a tighter capacity): resume the
 	// live greedy loop where the previous run stopped.
+	sp.SetAttr("outcome", "exhausted")
+	sp.SetAttrInt("replayed", int64(len(j.entries)))
 	pl.markAllChainsDirty()
 	return len(j.entries), prevBtl, false
 }

@@ -19,6 +19,12 @@ var Obs obs.Recorder
 // sweeps *compute* is independent of it.
 var Clock obs.Clock = obs.Wall
 
+// Trace, when set before a sweep starts, records one "experiments.cell"
+// span per sweep cell. Tracer.StartSpan is mutex-protected, so the
+// concurrent pool records root spans safely; within a worker the cell
+// span is single-goroutine, honoring the per-span-tree contract.
+var Trace *obs.Tracer
+
 // The experiment sweeps are embarrassingly parallel: every (model,
 // batch, device, policy) cell prepares its own graph, schedule and
 // profile, so cells share no mutable state. forEach fans the cell
@@ -39,6 +45,15 @@ func forEach(n int, fn func(int)) {
 			inner(i)
 			rec.Observe("tsplit_experiments_cell_seconds", Clock().Sub(start).Seconds())
 			rec.Add("tsplit_experiments_cells_total", 1)
+		}
+	}
+	if tr := Trace; tr != nil {
+		inner := fn
+		fn = func(i int) {
+			sp := tr.StartSpan("experiments.cell")
+			sp.SetAttrInt("cell", int64(i))
+			inner(i)
+			sp.End()
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)

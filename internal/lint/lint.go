@@ -21,6 +21,9 @@
 //   - scratchreuse: make / growing-append inside a loop in the pooled
 //     planner hot-path files (internal/core), where steady-state
 //     allocations erode the PlannerPool near-zero allocs/op budget.
+//   - spanpair: a StartSpan call in the instrumented packages (core,
+//     sim, resilient) whose span is never End()ed in the same
+//     function — a leak that poisons tsplit-doctor's phase latencies.
 //
 // Findings can be suppressed with a `//lint:allow <rule>[ reason]`
 // comment: placed above the package clause it covers the whole file,
@@ -121,7 +124,7 @@ func (a *Analyzer) appliesTo(path string) bool {
 
 // Analyzers returns the project rule set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop, ScratchReuse}
+	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop, ScratchReuse, SpanPair}
 }
 
 // ByName resolves a comma-separated rule list ("maporder,errdrop").

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPair enforces the tracing contract in the instrumented packages:
+// every span opened with StartSpan must be closed. An unclosed span
+// exports forever-open (-1 duration) nodes that poison the phase-
+// latency percentiles tsplit-doctor computes, and — worse — silently
+// under-reports whole phases when the leak is on the hot path.
+//
+// A StartSpan call is flagged when its result is
+//
+//   - discarded outright (an expression statement, or assigned to _),
+//     or
+//   - bound to a local identifier on which no End() call appears
+//     anywhere in the same function (a deferred End counts).
+//
+// Results that escape the function — returned, passed as an argument,
+// or stored into a field — are the caller's responsibility and are
+// not flagged. Function literals are separate scopes: a span opened
+// in a closure must be ended in that closure.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "StartSpan without a dominating End/defer End in the same function",
+	Packages: []string{
+		"tsplit/internal/core",
+		"tsplit/internal/sim",
+		"tsplit/internal/resilient",
+	},
+	Run: runSpanPair,
+}
+
+func runSpanPair(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanPairs(p, fn.Body)
+		}
+	}
+}
+
+// checkSpanPairs inspects one function (or function-literal) body.
+// It runs in two passes: collect every identifier that has .End()
+// called on it, then judge each StartSpan site against that set.
+func checkSpanPairs(p *Pass, body *ast.BlockStmt) {
+	ended := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are their own scope, judged separately.
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			ended[id.Name] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.FuncLit:
+				checkSpanPairs(p, s.Body)
+				return false
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && isStartSpan(p, call) {
+					p.Reportf(call.Pos(), "StartSpan result discarded: the span can never be ended")
+					return false
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isStartSpan(p, call) {
+						continue
+					}
+					id, ok := s.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // field store: the span escapes.
+					}
+					if id.Name == "_" {
+						p.Reportf(call.Pos(), "StartSpan result discarded: the span can never be ended")
+						continue
+					}
+					if !ended[id.Name] {
+						p.Reportf(call.Pos(), "span %q is started but never ended in this function: add %s.End() or defer %s.End()", id.Name, id.Name, id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// isStartSpan reports whether call is a StartSpan method call on an
+// obs tracing type (*Tracer or *Span — matched by type name so the
+// rule also covers the re-exported aliases).
+func isStartSpan(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return true // untyped synthetic source: name match decides.
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Tracer" || name == "Span"
+}

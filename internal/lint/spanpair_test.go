@@ -1,0 +1,183 @@
+package lint
+
+import "testing"
+
+// spanDecls is the miniature tracing surface the synthetic sources
+// share: the analyzer matches StartSpan receivers by type name
+// (Tracer / Span), mirroring internal/obs.
+const spanDecls = `
+type Span struct{}
+
+func (s *Span) End()                       {}
+func (s *Span) StartSpan(name string) *Span { return s }
+func (s *Span) SetAttr(k, v string)        {}
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span { return &Span{} }
+`
+
+func TestSpanPair(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "discarded result fires",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	tr.StartSpan("planner.plan")
+}`,
+			want: []string{"14:spanpair"},
+		},
+		{
+			name: "assigned but never ended fires",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	sp := tr.StartSpan("planner.plan")
+	sp.SetAttr("k", "v")
+}`,
+			want: []string{"14:spanpair"},
+		},
+		{
+			name: "blank assignment fires",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	_ = tr.StartSpan("planner.plan")
+}`,
+			want: []string{"14:spanpair"},
+		},
+		{
+			name: "direct end is clean",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	sp := tr.StartSpan("planner.plan")
+	sp.End()
+}`,
+			want: nil,
+		},
+		{
+			name: "deferred end is clean",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	sp := tr.StartSpan("planner.plan")
+	defer sp.End()
+}`,
+			want: nil,
+		},
+		{
+			name: "child span needs its own end",
+			path: "tsplit/internal/sim",
+			src: `package sim
+` + spanDecls + `
+func f(tr *Tracer) {
+	sp := tr.StartSpan("sim.run")
+	defer sp.End()
+	child := sp.StartSpan("sim.op")
+	child.SetAttr("op", "conv1")
+}`,
+			want: []string{"16:spanpair"},
+		},
+		{
+			name: "escaping results are the caller's responsibility",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+type holder struct{ sp *Span }
+
+func ret(tr *Tracer) *Span { return tr.StartSpan("escapes") }
+
+func store(tr *Tracer, h *holder) {
+	h.sp = tr.StartSpan("escapes")
+}
+
+func pass(tr *Tracer) {
+	use(tr.StartSpan("escapes"))
+}
+
+func use(sp *Span) { sp.End() }`,
+			want: nil,
+		},
+		{
+			name: "closure is its own scope",
+			path: "tsplit/internal/resilient",
+			src: `package resilient
+` + spanDecls + `
+func f(tr *Tracer) {
+	outer := tr.StartSpan("resilient.run")
+	defer outer.End()
+	fn := func() {
+		sp := tr.StartSpan("resilient.rung")
+		_ = sp
+	}
+	fn()
+}`,
+			want: []string{"17:spanpair"},
+		},
+		{
+			name: "end inside closure does not cover the outer span",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	sp := tr.StartSpan("planner.plan")
+	fn := func() { sp.End() }
+	fn()
+}`,
+			want: []string{"14:spanpair"},
+		},
+		{
+			name: "unrelated StartSpan receiver type is ignored",
+			path: corePath,
+			src: `package core
+type widget struct{}
+
+func (w *widget) StartSpan(name string) int { return 0 }
+
+func f(w *widget) {
+	w.StartSpan("not tracing")
+}`,
+			want: nil,
+		},
+		{
+			name: "outside the instrumented packages nothing fires",
+			path: "tsplit/internal/graph",
+			src: `package graph
+` + spanDecls + `
+func f(tr *Tracer) {
+	tr.StartSpan("free")
+}`,
+			want: nil,
+		},
+		{
+			name: "lint:allow suppresses",
+			path: corePath,
+			src: `package core
+` + spanDecls + `
+func f(tr *Tracer) {
+	//lint:allow spanpair ended by the phase that follows
+	sp := tr.StartSpan("planner.plan")
+	_ = sp
+}`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runOn(t, tc.path, "spanpair_case.go", tc.src, SpanPair)
+			expect(t, diags, tc.want...)
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFlightRingOverwrite(t *testing.T) {
+	f := NewFlight(4, fakeClock(time.Millisecond))
+	for i := 0; i < 10; i++ {
+		f.Record("k", fmt.Sprintf("ev%d", i))
+	}
+	if got := f.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := f.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d (seq numbers must survive overwrite)", i, ev.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("ev%d", 6+i); ev.Msg != want {
+			t.Fatalf("event %d msg = %q, want %q", i, ev.Msg, want)
+		}
+	}
+	// Timestamps advance 1ms per record after the t0 reading.
+	if evs[0].TimeMicros != 7000 {
+		t.Fatalf("first retained timestamp = %d, want 7000", evs[0].TimeMicros)
+	}
+}
+
+func TestFlightPartialAndNil(t *testing.T) {
+	var nilF *Flight
+	nilF.Record("k", "dropped")
+	if nilF.Events() != nil || nilF.Len() != 0 || nilF.Dropped() != 0 {
+		t.Fatalf("nil flight must be inert")
+	}
+
+	f := NewFlight(8, fakeClock(time.Millisecond))
+	f.Record("a", "first", L("x", "1"))
+	f.Record("b", "second")
+	evs := f.Events()
+	if len(evs) != 2 || evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("partial ring events = %+v", evs)
+	}
+	if len(evs[0].Attrs) != 1 || evs[0].Attrs[0] != L("x", "1") {
+		t.Fatalf("attrs = %+v", evs[0].Attrs)
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before overwrite", f.Dropped())
+	}
+}
+
+func TestFlightDefaultSize(t *testing.T) {
+	f := NewFlight(0, fakeClock(time.Millisecond))
+	for i := 0; i < DefaultFlightSize+5; i++ {
+		f.Record("k", "")
+	}
+	if f.Len() != DefaultFlightSize || f.Dropped() != 5 {
+		t.Fatalf("Len=%d Dropped=%d", f.Len(), f.Dropped())
+	}
+}
+
+func TestDumperTriggerAndFileSink(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	fl := NewFlight(8, clock)
+	tr := NewTracer(clock)
+	reg := NewRegistry()
+	reg.Add("tsplit_planner_plans_total", 2)
+
+	sp := tr.StartSpan("planner.plan")
+	sp.End()
+	fl.Record("ladder.escalate", "injected OOM", L("stage", "replan+0.10"))
+
+	path := filepath.Join(t.TempDir(), "dump.json")
+	d := &Dumper{Flight: fl, Registry: reg, Tracer: tr, Sink: FileSink(path)}
+	d.Trigger("escalation")
+	if err := d.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if got := d.Triggers(); len(got) != 1 || got[0] != "escalation" {
+		t.Fatalf("Triggers = %v", got)
+	}
+
+	dump, err := ReadDumpFile(path)
+	if err != nil {
+		t.Fatalf("ReadDumpFile: %v", err)
+	}
+	if dump.Reason != "escalation" || dump.TriggerSeq != 1 {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	if len(dump.Events) != 1 || dump.Events[0].Kind != "ladder.escalate" {
+		t.Fatalf("dump events = %+v", dump.Events)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "planner.plan" {
+		t.Fatalf("dump spans = %+v", dump.Spans)
+	}
+	found := false
+	for _, m := range dump.Metrics {
+		if m.Name == "tsplit_planner_plans_total" && m.Int == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dump metrics missing plans_total: %+v", dump.Metrics)
+	}
+}
+
+func TestDumperNilPartsAndSinkError(t *testing.T) {
+	var nilD *Dumper
+	nilD.Trigger("ignored") // must not panic
+	if nilD.Triggers() != nil || nilD.Err() != nil {
+		t.Fatalf("nil dumper must be inert")
+	}
+
+	wantErr := fmt.Errorf("sink broke")
+	d := &Dumper{Sink: func(*Dump) error { return wantErr }}
+	d.Trigger("first")
+	d.Trigger("second")
+	if d.Err() != wantErr {
+		t.Fatalf("Err = %v, want first sink error retained", d.Err())
+	}
+	if got := d.Triggers(); len(got) != 2 {
+		t.Fatalf("Triggers = %v", got)
+	}
+
+	// No sink at all: trigger is recorded, nothing written.
+	d2 := &Dumper{}
+	d2.Trigger("no sink")
+	if d2.Err() != nil || len(d2.Triggers()) != 1 {
+		t.Fatalf("sinkless dumper: err=%v triggers=%v", d2.Err(), d2.Triggers())
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	dump := &Dump{
+		Reason:        "final",
+		TriggerSeq:    9,
+		DroppedEvents: 3,
+		Events:        []Event{{Seq: 6, TimeMicros: 10, Kind: "plan.decision", Msg: "swap t3"}},
+		Metrics:       []Metric{{Name: "m", Kind: "counter", Int: 4, Value: 4}},
+		Spans:         []*SpanNode{{Name: "root", StartMicros: 1, DurMicros: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, dump); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if got.Reason != dump.Reason || got.TriggerSeq != 9 || got.DroppedEvents != 3 {
+		t.Fatalf("round trip header = %+v", got)
+	}
+	if len(got.Events) != 1 || got.Events[0].Kind != "plan.decision" {
+		t.Fatalf("round trip events = %+v", got.Events)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].DurMicros != 2 {
+		t.Fatalf("round trip spans = %+v", got.Spans)
+	}
+}
+
+func TestReadDumpFileErrors(t *testing.T) {
+	if _, err := ReadDumpFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatalf("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDumpFile(bad); err == nil {
+		t.Fatalf("bad JSON must error")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -35,9 +36,26 @@ func (r *Registry) SetHelp(name, help string) {
 
 // SetBuckets configures the histogram bucket upper bounds for a metric
 // name; it must be called before the first Observe of that name
-// (series created earlier keep their bounds). Bounds must be sorted
-// ascending.
+// (series created earlier keep their bounds). Bounds must be finite,
+// sorted strictly ascending, and non-empty — anything else is a
+// programming error at the configuration site, so it panics rather
+// than silently producing a histogram whose buckets misattribute
+// every observation.
 func (r *Registry) SetBuckets(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: SetBuckets(%s): empty bounds", name))
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			// The +Inf bucket is implicit (counts has a final overflow
+			// entry); listing it — or NaN — breaks the binary search.
+			panic(fmt.Sprintf("obs: SetBuckets(%s): bound %d is %v, bounds must be finite", name, i, b))
+		}
+		if i > 0 && bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: SetBuckets(%s): bounds not strictly ascending at %d (%v <= %v)",
+				name, i, bounds[i], bounds[i-1]))
+		}
+	}
 	r.mu.Lock()
 	r.buckets[name] = append([]float64(nil), bounds...)
 	r.mu.Unlock()
@@ -60,13 +78,30 @@ func seriesKey(name string, labels []Label) string {
 	return b.String()
 }
 
+// canonicalLabels returns labels sorted by key WITHOUT mutating the
+// caller's slice: variadic call sites like Add(n, 1, a, b) pass the
+// caller's backing array directly, and reordering it in place is an
+// observable side effect (a caller-held []Label literal would change
+// under them — the exact bug this helper replaces). Already-sorted
+// input (the overwhelmingly common case: zero or one label, or
+// callers passing constants in key order) is returned as-is with no
+// allocation.
+func canonicalLabels(labels []Label) []Label {
+	for i := 1; i < len(labels); i++ {
+		if labels[i].Key < labels[i-1].Key {
+			cp := append([]Label(nil), labels...)
+			sort.SliceStable(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+			return cp
+		}
+	}
+	return labels
+}
+
 // get returns the series for (name, labels, kind), creating it on
 // first use. Mixing kinds under one name panics: it is a programming
 // error, not a runtime condition.
 func (r *Registry) get(name string, kind metricKind, labels []Label) *series {
-	if len(labels) > 1 {
-		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
-	}
+	labels = canonicalLabels(labels)
 	key := seriesKey(name, labels)
 	r.mu.RLock()
 	s := r.series[key]
@@ -114,13 +149,20 @@ func (r *Registry) Set(name string, v float64, labels ...Label) {
 	s.mu.Unlock()
 }
 
-// Observe implements Recorder: histogram observation.
+// Observe implements Recorder: histogram observation. A NaN
+// observation is deterministic: it lands in the +Inf overflow bucket
+// (every NaN comparison is false, so sort.SearchFloat64s would
+// otherwise leave the bucket choice to its probe order) and is
+// excluded from Sum, which keeps snapshots JSON-marshalable.
 func (r *Registry) Observe(name string, v float64, labels ...Label) {
 	s := r.get(name, histogramKind, labels)
 	s.mu.Lock()
-	i := sort.SearchFloat64s(s.bounds, v) // first bound >= v
+	i := len(s.bounds) // +Inf overflow bucket
+	if !math.IsNaN(v) {
+		i = sort.SearchFloat64s(s.bounds, v) // first bound >= v
+		s.sum += v
+	}
 	s.counts[i]++
-	s.sum += v
 	s.count++
 	s.mu.Unlock()
 }
@@ -128,9 +170,7 @@ func (r *Registry) Observe(name string, v float64, labels ...Label) {
 // Counter reads the current value of a counter series (0 when the
 // series does not exist). Intended for tests and reporting.
 func (r *Registry) Counter(name string, labels ...Label) int64 {
-	if len(labels) > 1 {
-		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
-	}
+	labels = canonicalLabels(labels)
 	r.mu.RLock()
 	s := r.series[seriesKey(name, labels)]
 	r.mu.RUnlock()
@@ -144,9 +184,7 @@ func (r *Registry) Counter(name string, labels ...Label) int64 {
 
 // Gauge reads the current value of a gauge series (0 when absent).
 func (r *Registry) Gauge(name string, labels ...Label) float64 {
-	if len(labels) > 1 {
-		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
-	}
+	labels = canonicalLabels(labels)
 	r.mu.RLock()
 	s := r.series[seriesKey(name, labels)]
 	r.mu.RUnlock()
@@ -161,9 +199,7 @@ func (r *Registry) Gauge(name string, labels ...Label) float64 {
 // Histogram reads a copy of a histogram series' state (zero-value
 // snapshot when absent).
 func (r *Registry) Histogram(name string, labels ...Label) HistogramSnapshot {
-	if len(labels) > 1 {
-		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
-	}
+	labels = canonicalLabels(labels)
 	r.mu.RLock()
 	s := r.series[seriesKey(name, labels)]
 	r.mu.RUnlock()

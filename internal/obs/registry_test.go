@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLabelSliceImmutability pins the fix for the in-place variadic
+// sort: recording through every Recorder method and reading through
+// every accessor must leave the caller's label slice untouched.
+func TestLabelSliceImmutability(t *testing.T) {
+	r := NewRegistry()
+	// Deliberately out of key order: the old code reordered this
+	// backing array in place on the first call.
+	labels := []Label{L("zone", "b"), L("app", "a")}
+	orig := append([]Label(nil), labels...)
+
+	r.Add("tsplit_test_imm_total", 1, labels...)
+	r.Set("tsplit_test_imm_gauge", 2, labels...)
+	r.Observe("tsplit_test_imm_hist", 0.5, labels...)
+	_ = r.Counter("tsplit_test_imm_total", labels...)
+	_ = r.Gauge("tsplit_test_imm_gauge", labels...)
+	_ = r.Histogram("tsplit_test_imm_hist", labels...)
+
+	for i := range labels {
+		if labels[i] != orig[i] {
+			t.Fatalf("caller slice mutated at %d: %+v (was %+v)", i, labels, orig)
+		}
+	}
+	// The series itself still canonicalizes: both key orders resolve
+	// to one series.
+	if got := r.Counter("tsplit_test_imm_total", L("app", "a"), L("zone", "b")); got != 1 {
+		t.Fatalf("sorted-order read = %d, want 1 (same series)", got)
+	}
+	snap := r.Snapshot()
+	for _, m := range snap {
+		if m.Name == "tsplit_test_imm_total" {
+			if len(m.Labels) != 2 || m.Labels[0].Key != "app" || m.Labels[1].Key != "zone" {
+				t.Fatalf("stored labels not canonical: %+v", m.Labels)
+			}
+		}
+	}
+}
+
+func TestCanonicalLabelsNoCopyWhenSorted(t *testing.T) {
+	labels := []Label{L("a", "1"), L("b", "2")}
+	if got := canonicalLabels(labels); &got[0] != &labels[0] {
+		t.Fatalf("sorted input must be returned without copying")
+	}
+	if got := canonicalLabels(nil); got != nil {
+		t.Fatalf("nil in, nil out")
+	}
+}
+
+func TestSetBucketsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		want   string // substring of the panic, "" = no panic
+	}{
+		{"valid", []float64{0.1, 1, 10}, ""},
+		{"empty", nil, "empty bounds"},
+		{"descending", []float64{1, 0.1}, "not strictly ascending"},
+		{"duplicate", []float64{1, 1}, "not strictly ascending"},
+		{"nan", []float64{0.1, math.NaN()}, "must be finite"},
+		{"inf", []float64{0.1, math.Inf(1)}, "must be finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			defer func() {
+				rec := recover()
+				if tc.want == "" {
+					if rec != nil {
+						t.Fatalf("unexpected panic: %v", rec)
+					}
+					return
+				}
+				msg, ok := rec.(string)
+				if !ok || !strings.Contains(msg, tc.want) {
+					t.Fatalf("panic = %v, want substring %q", rec, tc.want)
+				}
+			}()
+			r.SetBuckets("tsplit_test_hist", tc.bounds)
+		})
+	}
+}
+
+// TestObserveNaNDeterministic pins NaN routing: the observation lands
+// in the +Inf overflow bucket (not bucket 0, where SearchFloat64s'
+// probe order would put it), counts toward Count, and is excluded
+// from Sum so snapshots stay JSON-marshalable.
+func TestObserveNaNDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.SetBuckets("tsplit_test_nan", []float64{1, 2})
+	r.Observe("tsplit_test_nan", 0.5)
+	r.Observe("tsplit_test_nan", math.NaN())
+	r.Observe("tsplit_test_nan", math.NaN())
+
+	h := r.Histogram("tsplit_test_nan")
+	if h.Count != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 0 || h.Counts[2] != 2 {
+		t.Fatalf("Counts = %v, want [1 0 2] (NaN in +Inf bucket)", h.Counts)
+	}
+	if h.Sum != 0.5 {
+		t.Fatalf("Sum = %v, want 0.5 (NaN excluded)", h.Sum)
+	}
+	// +Inf itself also routes past every finite bound.
+	r.Observe("tsplit_test_nan", math.Inf(1))
+	if h = r.Histogram("tsplit_test_nan"); h.Counts[2] != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3", h.Counts[2])
+	}
+	if !math.IsInf(h.Sum, 1) {
+		t.Fatalf("Sum after +Inf observe = %v", h.Sum)
+	}
+}

@@ -48,6 +48,18 @@ type Config struct {
 	CollectReport bool
 	// Obs receives planner, runtime, and ladder metrics.
 	Obs obs.Recorder
+	// Trace records the run as a "resilient.run" span with one
+	// "resilient.rung" child per ladder attempt, and is threaded into
+	// the planner and simulator of every rung. Nil disables tracing.
+	Trace *obs.Tracer
+	// Flight receives ladder escalation events ("ladder.escalate",
+	// "ladder.fallback", "ladder.abort") and is threaded into the
+	// planner and simulator of every rung. Nil disables recording.
+	Flight *obs.Flight
+	// Dumper, when set, snapshots the flight ring, metrics, and span
+	// tree whenever the ladder escalates, falls back to swap-all, or
+	// aborts — the postmortem feed for tsplit-doctor.
+	Dumper *obs.Dumper
 }
 
 // Stage records one ladder rung: a planning + execution attempt.
@@ -104,12 +116,20 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 	if cfg.Obs != nil {
 		cfg.Obs.Add("tsplit_resilient_runs_total", 1)
 	}
+	rsp := cfg.Trace.StartSpan("resilient.run")
+	defer rsp.End()
 	fail := func(kind string, margin float64, err error) {
 		out.Stages = append(out.Stages, Stage{Kind: kind, Margin: margin, Err: err.Error()})
 		out.Degraded = true
 		if cfg.Obs != nil {
 			cfg.Obs.Add("tsplit_resilient_degraded_total", 1, obs.L("stage", kind))
 		}
+		if fl := cfg.Flight; fl != nil {
+			fl.Record("ladder.escalate", err.Error(),
+				obs.L("stage", kind),
+				obs.L("margin", fmt.Sprintf("%.2f", margin)))
+		}
+		cfg.Dumper.Trigger("ladder escalation: " + kind)
 	}
 
 	// One planner serves the whole ladder: rung 0 plans cold, escalated
@@ -129,6 +149,11 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 		popts.SafetyMargin = m
 		popts.Obs = cfg.Obs
 		popts.CollectReport = cfg.CollectReport
+		popts.Trace = cfg.Trace
+		popts.Flight = cfg.Flight
+		sp := rsp.StartSpan("resilient.rung")
+		sp.SetAttr("kind", kind)
+		sp.SetAttr("margin", fmt.Sprintf("%.2f", m))
 		var plan *core.Plan
 		var err error
 		if i == 0 {
@@ -140,10 +165,12 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 		if err != nil {
 			// Infeasible at this margin: tighter margins only shrink the
 			// budget further. Go straight to the fallback.
+			sp.End()
 			fail(kind, m, err)
 			break
 		}
 		res, rerr := runSim(in, plan, cfg, inj)
+		sp.End()
 		if rerr == nil {
 			out.Plan, out.Result, out.Report = plan, res, pl.Report()
 			out.Stages = append(out.Stages, Stage{Kind: kind, Margin: m})
@@ -161,15 +188,26 @@ func Run(in baselines.Inputs, cfg Config) (Outcome, error) {
 
 	// Final rung: the swap-all baseline trades throughput for the
 	// smallest working set any policy here can offer.
+	if fl := cfg.Flight; fl != nil {
+		fl.Record("ladder.fallback", "descending to swap-all baseline")
+	}
+	sp := rsp.StartSpan("resilient.rung")
+	sp.SetAttr("kind", "swap-all")
 	plan, err := baselines.VDNNAll(in)
 	if err != nil {
+		sp.End()
 		return out, fmt.Errorf("resilient: swap-all fallback: %w", err)
 	}
 	res, rerr := runSim(in, plan, cfg, inj)
+	sp.End()
 	if rerr != nil {
 		if cfg.Obs != nil {
 			cfg.Obs.Add("tsplit_resilient_aborts_total", 1)
 		}
+		if fl := cfg.Flight; fl != nil {
+			fl.Record("ladder.abort", rerr.Error())
+		}
+		cfg.Dumper.Trigger("ladder abort: swap-all fallback failed")
 		return out, fmt.Errorf("resilient: swap-all fallback: %w", rerr)
 	}
 	out.Plan, out.Result = plan, res
@@ -192,5 +230,7 @@ func runSim(in baselines.Inputs, plan *core.Plan, cfg Config, inj *faults.Inject
 	sopts.Capacity = cfg.Capacity
 	sopts.Faults = inj
 	sopts.Obs = cfg.Obs
+	sopts.Trace = cfg.Trace
+	sopts.Flight = cfg.Flight
 	return sim.New(in.G, in.Sched, in.Lv, plan, in.Dev, sopts).Run()
 }

@@ -22,11 +22,17 @@ func (s *Simulator) Run() (Result, error) {
 
 func (s *Simulator) run() (Result, error) {
 	s.reset()
+	rsp := s.Opts.Trace.StartSpan("sim.run")
+	defer rsp.End()
 	if err := s.stageResidents(); err != nil {
 		return s.res, err
 	}
 	var pureCompute float64
 	for i, op := range s.Sched.Ops {
+		// An op span left open by an error return exports with a -1
+		// duration — the doctor shows exactly which op the run died in.
+		osp := rsp.StartSpan("sim.op")
+		osp.SetAttr("op", op.Name)
 		s.curOp = i
 		if err := s.applyFaultWindows(i); err != nil {
 			return s.res, err
@@ -48,6 +54,7 @@ func (s *Simulator) run() (Result, error) {
 		}
 		s.postOp(i, op)
 		s.clearLocals()
+		osp.End()
 	}
 	s.res.Time = s.tc
 	s.res.StallTime = s.tc - pureCompute

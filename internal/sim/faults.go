@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"tsplit/internal/faults"
 	"tsplit/internal/graph"
+	"tsplit/internal/obs"
 )
 
 // This file holds the runtime's fault-injection hooks. Every hook is
@@ -24,6 +26,10 @@ func (s *Simulator) xfer(b int64) float64 {
 		s.res.Faults.BandwidthEvents++
 		s.res.Faults.BandwidthExtraSeconds += d * (m - 1)
 		d *= m
+		if fl := s.Opts.Flight; fl != nil {
+			fl.Record("fault.bandwidth", "degraded PCIe transfer",
+				obs.L("op", strconv.Itoa(s.curOp)))
+		}
 	}
 	return d
 }
@@ -65,6 +71,11 @@ func (s *Simulator) retryPenalty(t *graph.Tensor, dir int, dur float64) float64 
 	if fails >= faults.MaxSwapRetries {
 		s.res.Faults.SwapExhausted++
 	}
+	if fl := s.Opts.Flight; fl != nil {
+		fl.Record("fault.swap-retry", t.Name,
+			obs.L("retries", strconv.Itoa(fails)),
+			obs.L("op", strconv.Itoa(s.curOp)))
+	}
 	return pen
 }
 
@@ -93,6 +104,11 @@ func (s *Simulator) applyFaultWindows(i int) error {
 		}
 		h.blk, h.held = blk, true
 		s.res.Faults.CapacityEvents++
+		if fl := s.Opts.Flight; fl != nil {
+			fl.Record("fault.capacity-shrink", "co-tenant window opened",
+				obs.L("op", strconv.Itoa(i)),
+				obs.L("bytes", strconv.FormatInt(h.ev.Bytes, 10)))
+		}
 	}
 	return nil
 }

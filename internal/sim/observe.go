@@ -1,6 +1,10 @@
 package sim
 
-import "tsplit/internal/obs"
+import (
+	"errors"
+
+	"tsplit/internal/obs"
+)
 
 // fragBytes samples external fragmentation: free memory that is not
 // part of the largest free extent, i.e. space a single allocation of
@@ -19,10 +23,18 @@ func (s *Simulator) fragBytes() int64 {
 // microseconds to keep that exactness).
 func usec(seconds float64) int64 { return int64(seconds * 1e6) }
 
-// observe emits the run's metrics to the configured Recorder. It runs
-// once per Run(), after the simulation completes; the simulation loop
-// itself never touches the Recorder, so a nil Obs costs nothing.
+// observe emits the run's metrics to the configured Recorder and the
+// failure, if any, to the flight ring. It runs once per Run(), after
+// the simulation completes; the simulation loop itself never touches
+// the Recorder, so a nil Obs costs nothing.
 func (s *Simulator) observe(err error) {
+	if err != nil {
+		kind := "sim.failure"
+		if errors.Is(err, ErrOOM) {
+			kind = "sim.oom"
+		}
+		s.Opts.Flight.Record(kind, err.Error())
+	}
 	rec := s.Opts.Obs
 	if rec == nil {
 		return

@@ -80,6 +80,12 @@ type Options struct {
 	// noise, PCIe degradation, transient transfer failures, capacity
 	// shrink). Nil disables injection at zero cost.
 	Faults *faults.Injector
+	// Trace receives a "sim.run" root span with one "sim.op" child per
+	// scheduled op. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Flight receives structured runtime events — injected faults,
+	// OOMs — on the postmortem ring buffer. Nil disables at zero cost.
+	Flight *obs.Flight
 }
 
 // FaultStats aggregates the injected-fault activity of one run (zero

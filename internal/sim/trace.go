@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"tsplit/internal/obs"
 )
 
 // chromeEvent is one event of the Chrome/Perfetto trace format
@@ -45,6 +47,10 @@ const (
 // the tid only groups them under the process).
 const tidCounters = 100
 
+// tidSpans is the lane carrying obs.Tracer spans (planner phases,
+// per-op sim spans) when the caller merges them into the trace.
+const tidSpans = 200
+
 // streamTIDs returns the lane mapping for a timeline: the three known
 // streams on their reserved rows, any other stream name on a freshly
 // allocated row.
@@ -77,6 +83,20 @@ func streamTIDs(timeline []TimelinePoint) map[string]int {
 // (timestamp, thread, name) with a stable sort, so identical timelines
 // serialize identically.
 func WriteChromeTrace(w io.Writer, timeline []TimelinePoint) error {
+	return WriteChromeTraceSpans(w, timeline, nil)
+}
+
+// WriteChromeTraceSpans is WriteChromeTrace with an extra "spans"
+// lane: the flattened obs.Tracer span forest (planner phases, per-op
+// execution, ladder rungs) rendered as "X" slices on their own
+// thread row. Span timestamps are tracer-relative microseconds —
+// a separate timebase from the simulated-seconds timeline, kept on a
+// separate lane for exactly that reason. Open (never-ended) spans
+// render with zero duration and an open:true arg. Determinism
+// matches WriteChromeTrace: spans join the same stable
+// (timestamp, thread, name) sort, and span args marshal in sorted
+// key order.
+func WriteChromeTraceSpans(w io.Writer, timeline []TimelinePoint, spans []*obs.SpanNode) error {
 	tids := streamTIDs(timeline)
 	tr := chromeTrace{Metadata: map[string]string{"tool": "tsplit sim"}}
 
@@ -110,6 +130,38 @@ func WriteChromeTrace(w io.Writer, timeline []TimelinePoint) error {
 			Name: "thread_name", Ph: "M", PID: tracePID, TID: tids[name],
 			Args: map[string]any{"name": name},
 		})
+	}
+	if len(spans) > 0 {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tidSpans,
+			Args: map[string]any{"name": "spans"},
+		})
+		var emit func(n *obs.SpanNode)
+		emit = func(n *obs.SpanNode) {
+			args := make(map[string]any, len(n.Attrs)+1)
+			for _, a := range n.Attrs {
+				args[a.Key] = a.Value
+			}
+			dur := n.DurMicros
+			if dur < 0 {
+				dur = 0
+				args["open"] = true
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: n.Name, Cat: "span", Ph: "X",
+				TS: float64(n.StartMicros), Dur: float64(dur),
+				PID: tracePID, TID: tidSpans, Args: args,
+			})
+			for _, c := range n.Children {
+				emit(c)
+			}
+		}
+		for _, n := range spans {
+			emit(n)
+		}
 	}
 
 	counter := func(ts float64, name string, args map[string]any) chromeEvent {

@@ -1,15 +1,15 @@
 #!/bin/sh
-# Coverage gate for the planner core and the runtime simulator — the
-# two packages whose correctness the differential and fault-injection
-# test layers lean on. Fails when either package's statement coverage
-# drops below the floor.
+# Coverage gate for the planner core, the runtime simulator, and the
+# observability layer — the packages whose correctness the
+# differential, fault-injection, and postmortem test layers lean on.
+# Fails when any package's statement coverage drops below the floor.
 set -eu
 
 GO=${GO:-go}
 FLOOR=80.0
 
 fail=0
-for pkg in ./internal/core ./internal/sim; do
+for pkg in ./internal/core ./internal/sim ./internal/obs; do
 	profile=$(mktemp)
 	"$GO" test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
 	total=$("$GO" tool cover -func="$profile" | awk 'END {gsub(/%/, "", $NF); print $NF}')

@@ -78,6 +78,28 @@ type (
 	// and measurements of the degradation-ladder rung that survived,
 	// plus the ladder trail.
 	ResilientOutcome = resilient.Outcome
+	// Tracer records a deterministic forest of nested spans (planner
+	// phases, per-op simulation, ladder rungs). A nil *Tracer is valid
+	// everywhere and costs nothing.
+	Tracer = obs.Tracer
+	// Span is one span in a Tracer's forest.
+	Span = obs.Span
+	// SpanNode is the exported (JSON-ready) form of a span tree.
+	SpanNode = obs.SpanNode
+	// Flight is a fixed-size ring of recent structured events (plan
+	// decisions, replan divergences, fault injections, ladder
+	// escalations). A nil *Flight is valid everywhere.
+	Flight = obs.Flight
+	// FlightEvent is one recorded flight-ring event.
+	FlightEvent = obs.Event
+	// Dump is a self-contained postmortem snapshot: flight events,
+	// metrics, and span trees.
+	Dump = obs.Dump
+	// Dumper snapshots a Flight + Registry + Tracer into a Dump sink
+	// when triggered (ladder escalations trigger it automatically).
+	Dumper = obs.Dumper
+	// Diagnosis is tsplit-doctor's structured analysis of a Dump.
+	Diagnosis = obs.Diagnosis
 )
 
 // DefaultFaultSeverity is the documented default for fault injection.
@@ -85,6 +107,24 @@ const DefaultFaultSeverity = faults.DefaultSeverity
 
 // NewRegistry returns an empty metrics Registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns a wall-clock span tracer.
+func NewTracer() *Tracer { return obs.NewTracer(nil) }
+
+// NewFlight returns a flight recorder keeping the last n events
+// (n <= 0: a sensible default).
+func NewFlight(n int) *Flight { return obs.NewFlight(n, nil) }
+
+// Diagnose analyzes a postmortem dump (optionally against a baseline
+// dump) into the structured report tsplit-doctor renders.
+func Diagnose(d, baseline *Dump) *Diagnosis { return obs.Diagnose(d, baseline) }
+
+// ReadDumpFile loads a postmortem dump written by a Dumper file sink.
+func ReadDumpFile(path string) (*Dump, error) { return obs.ReadDumpFile(path) }
+
+// FileSink returns a Dumper sink overwriting path with each dump
+// (last trigger wins — the freshest postmortem is the useful one).
+func FileSink(path string) func(*Dump) error { return obs.FileSink(path) }
 
 // L builds a metric label.
 func L(key, value string) Label { return obs.L(key, value) }
@@ -117,6 +157,14 @@ type PlanOptions struct {
 	SafetyMargin float64
 	// Observe receives planner metrics (nil = none).
 	Observe Recorder
+	// Trace records planner phase spans (nil = none, zero cost).
+	Trace *Tracer
+	// Flight receives plan-decision and failure events (nil = none).
+	Flight *Flight
+	// Postmortem, consulted by RunResilient only, snapshots the flight
+	// ring, metrics, and span tree whenever the degradation ladder
+	// escalates or aborts.
+	Postmortem *Dumper
 }
 
 // Workload is a model prepared for planning and execution on a device:
@@ -170,6 +218,8 @@ func (w *Workload) Plan(opts PlanOptions) (*Plan, error) {
 		PNums:        opts.PNums,
 		SafetyMargin: opts.SafetyMargin,
 		Obs:          opts.Observe,
+		Trace:        opts.Trace,
+		Flight:       opts.Flight,
 	})
 	return pl.Plan()
 }
@@ -183,6 +233,8 @@ func (w *Workload) PlanWithReport(opts PlanOptions) (*Plan, *PlanReport, error) 
 		PNums:         opts.PNums,
 		SafetyMargin:  opts.SafetyMargin,
 		Obs:           opts.Observe,
+		Trace:         opts.Trace,
+		Flight:        opts.Flight,
 		CollectReport: true,
 	})
 	plan, err := pl.Plan()
@@ -245,6 +297,13 @@ func Observe(r Recorder) RunOption { return func(o *sim.Options) { o.Obs = r } }
 // Raw result, for export with WriteTrace.
 func WithTimeline() RunOption { return func(o *sim.Options) { o.CollectTimeline = true } }
 
+// WithTrace records the run as a "sim.run" span with per-op children
+// in tr; export alongside the timeline with WriteTraceSpans.
+func WithTrace(tr *Tracer) RunOption { return func(o *sim.Options) { o.Trace = tr } }
+
+// WithFlight records OOMs, failures, and injected faults into fl.
+func WithFlight(fl *Flight) RunOption { return func(o *sim.Options) { o.Flight = fl } }
+
 // Run simulates one training iteration under the plan and returns the
 // measurements, or an error when the plan does not fit the device
 // (OOM — the configuration cannot train).
@@ -293,6 +352,14 @@ func (w *Workload) RunResilient(po PlanOptions, fc FaultConfig, opts ...RunOptio
 	if rec == nil {
 		rec = so.Obs // Observe() RunOption covers the whole ladder
 	}
+	tr := po.Trace
+	if tr == nil {
+		tr = so.Trace // WithTrace() RunOption covers the whole ladder
+	}
+	fl := po.Flight
+	if fl == nil {
+		fl = so.Flight // WithFlight() likewise
+	}
 	out, err := resilient.Run(baselines.Inputs{G: w.G, Sched: w.Sched, Lv: w.Lv, Prof: w.Prof, Dev: w.Dev}, resilient.Config{
 		Faults:        fc,
 		SafetyMargin:  po.SafetyMargin,
@@ -301,6 +368,9 @@ func (w *Workload) RunResilient(po PlanOptions, fc FaultConfig, opts ...RunOptio
 		Sim:           so,
 		CollectReport: true,
 		Obs:           rec,
+		Trace:         tr,
+		Flight:        fl,
+		Dumper:        po.Postmortem,
 	})
 	if err != nil {
 		return out, Report{}, err
@@ -375,4 +445,15 @@ func WriteTrace(w io.Writer, res SimResult) error {
 		return fmt.Errorf("tsplit: result has no timeline (run with tsplit.WithTimeline())")
 	}
 	return sim.WriteChromeTrace(w, res.Timeline)
+}
+
+// WriteTraceSpans is WriteTrace plus the tracer's span forest on its
+// own "spans" lane (planner phases, per-op execution, ladder rungs).
+// Either side may be empty, but not both.
+func WriteTraceSpans(w io.Writer, res SimResult, tr *Tracer) error {
+	spans := tr.Tree()
+	if len(res.Timeline) == 0 && len(spans) == 0 {
+		return fmt.Errorf("tsplit: nothing to export (no timeline, no spans)")
+	}
+	return sim.WriteChromeTraceSpans(w, res.Timeline, spans)
 }
