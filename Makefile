@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt lint build test race bench bench-guard verify-plans cover doctor-smoke ci
+.PHONY: all vet fmt lint lint-audit build test race bench bench-guard verify-plans cover doctor-smoke ci
 
 all: ci
 
@@ -13,11 +13,19 @@ fmt:
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# Determinism lint suite (maporder, clockdet, floateq, errdrop) over
-# every package in the module. Zero findings is the bar; suppress a
-# justified site with //lint:allow <rule> <reason>.
+# Static-analysis suite: the determinism rules (maporder, clockdet,
+# floateq, errdrop, scratchreuse, spanpair) plus the interprocedural
+# concurrency contracts (guardedby, nilsafe, gojoin) over every
+# package in the module. Zero findings is the bar; suppress a
+# justified site with //lint:allow <rule> <reason>. Findings also land
+# in lint_report.json for CI artifact collection.
 lint:
-	$(GO) run ./cmd/tsplit-lint
+	$(GO) run ./cmd/tsplit-lint -report lint_report.json
+
+# Every //lint:allow must carry a reason; this lists them all and
+# fails on reasonless suppressions.
+lint-audit:
+	$(GO) run ./cmd/tsplit-lint -audit
 
 build:
 	$(GO) build ./...
@@ -55,4 +63,4 @@ cover:
 doctor-smoke:
 	sh scripts/doctor_smoke.sh
 
-ci: vet fmt lint build race bench bench-guard verify-plans cover doctor-smoke
+ci: vet fmt lint lint-audit build race bench bench-guard verify-plans cover doctor-smoke

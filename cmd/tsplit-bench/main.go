@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,6 +21,24 @@ import (
 	"tsplit/internal/models"
 	"tsplit/internal/obs"
 )
+
+// writeOut streams fn to stdout (path "-") or to path. The file Close
+// error is returned: metrics and span exports flush at Close, so a
+// dropped Close error is a silently truncated file.
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close() // the write error is the one to report
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
@@ -33,17 +52,7 @@ func main() {
 		reg = obs.NewRegistry()
 		experiments.Obs = reg
 		defer func() {
-			out := os.Stdout
-			if *metrics != "-" {
-				f, err := os.Create(*metrics)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-					return
-				}
-				defer f.Close()
-				out = f
-			}
-			if err := reg.WritePrometheus(out); err != nil {
+			if err := writeOut(*metrics, reg.WritePrometheus); err != nil {
 				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 			}
 		}()
@@ -52,17 +61,7 @@ func main() {
 		tr := obs.NewTracer(nil)
 		experiments.Trace = tr
 		defer func() {
-			out := os.Stdout
-			if *spans != "-" {
-				f, err := os.Create(*spans)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "spans: %v\n", err)
-					return
-				}
-				defer f.Close()
-				out = f
-			}
-			if err := tr.WriteJSON(out); err != nil {
+			if err := writeOut(*spans, tr.WriteJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "spans: %v\n", err)
 			}
 		}()

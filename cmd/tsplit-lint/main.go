@@ -1,13 +1,27 @@
-// Command tsplit-lint runs the project's determinism lint suite over
-// the module: maporder (unsorted map iteration in determinism-critical
-// packages), clockdet (wall clock / ambient randomness outside the
-// injectable-clock allowlist), floateq (exact float comparison in
-// planner scoring), and errdrop (silently discarded errors).
+// Command tsplit-lint runs the project's static-analysis suite over
+// the module: the per-package determinism rules (maporder, clockdet,
+// floateq, errdrop, scratchreuse, spanpair) and the interprocedural
+// concurrency-contract rules (guardedby, nilsafe, gojoin) built on
+// the module call graph.
 //
 //	tsplit-lint                   # lint the module rooted at .
 //	tsplit-lint -json             # machine-readable findings
 //	tsplit-lint -rules maporder   # run a subset of rules
+//	tsplit-lint -changed HEAD~1   # report only packages changed vs a ref
+//	tsplit-lint -audit            # list every //lint:allow with its reason
+//	tsplit-lint -report out.json  # also write findings to a JSON report
 //	tsplit-lint -C path/to/module
+//
+// -changed narrows *reporting* to packages with .go files changed
+// relative to the git ref (committed, staged, unstaged, or
+// untracked); the whole module is still loaded and analyzed, since
+// the interprocedural rules need every caller. If git fails (not a
+// repository, unknown ref) the tool warns and falls back to a full
+// run rather than linting nothing.
+//
+// -audit lists every suppression in the module with its file:line,
+// rules, and reason, and exits 1 if any directive is missing its
+// reason — a suppression must never outlive its justification.
 //
 // The exit status is 1 when findings remain, 2 on usage or load
 // errors. Suppress an intentional pattern with a
@@ -29,11 +43,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	rules := flag.String("rules", "", "comma-separated rule subset (default: all rules)")
 	list := flag.Bool("list", false, "list the available rules and exit")
+	changed := flag.String("changed", "", "report findings only for packages changed vs this git ref")
+	audit := flag.Bool("audit", false, "list every //lint:allow suppression; fail on missing reasons")
+	report := flag.String("report", "", "also write the findings as a JSON report to this file")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -48,8 +65,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags := lint.Run(mod.Pkgs, analyzers)
 
+	if *audit {
+		os.Exit(runAudit(mod, *jsonOut))
+	}
+
+	var only func(string) bool
+	if *changed != "" {
+		pkgs, err := lint.ChangedPackages(mod, *changed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsplit-lint: -changed %s unavailable, falling back to a full run: %v\n", *changed, err)
+		} else {
+			only = func(p string) bool { return pkgs[p] }
+		}
+	}
+	diags := lint.RunFiltered(mod.Pkgs, analyzers, only)
+
+	if *report != "" {
+		if err := writeReport(*report, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -68,4 +105,46 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runAudit lists every suppression and returns the process exit code:
+// 1 when any //lint:allow is missing its reason.
+func runAudit(mod *lint.Module, jsonOut bool) int {
+	sites, missing := lint.Audit(mod.Pkgs)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sites); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, s := range sites {
+			fmt.Println(s)
+		}
+		fmt.Fprintf(os.Stderr, "tsplit-lint: %d suppression(s), %d missing a reason\n", len(sites), len(missing))
+	}
+	if len(missing) > 0 {
+		for _, d := range missing {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 1
+	}
+	return 0
+}
+
+// writeReport writes the findings as an indented JSON array, closing
+// explicitly so a flush failure is not silently dropped.
+func writeReport(path string, diags []lint.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diags); err != nil {
+		_ = f.Close() // the encode error is the one to report
+		return err
+	}
+	return f.Close()
 }

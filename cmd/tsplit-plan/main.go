@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,6 +19,24 @@ import (
 
 	"tsplit"
 )
+
+// writeOut streams fn to stdout (path "-") or to path. The file Close
+// error is returned: exports are buffered and flushed at Close, so a
+// dropped Close error is a silently truncated plan file.
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close() // the write error is the one to report
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	model := flag.String("model", "vgg16", "model name (see tsplit.Models)")
@@ -93,16 +112,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		out := os.Stdout
-		if *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := core.ExportJSON(out, plan); err != nil {
+		if err := writeOut(*jsonPath, func(w io.Writer) error { return core.ExportJSON(w, plan) }); err != nil {
 			log.Fatalf("json export: %v", err)
 		}
 	}
@@ -116,12 +126,7 @@ func main() {
 		fmt.Printf("  swap-out %d  swap-in %d  split %d  merge %d  recompute %d\n",
 			ag.SwapOuts, ag.SwapIns, ag.SplitOps, ag.MergeOps, ag.RecomputeOps)
 		if *dotPath != "" {
-			f, err := os.Create(*dotPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			if err := ag.DOT(f); err != nil {
+			if err := writeOut(*dotPath, ag.DOT); err != nil {
 				log.Fatalf("dot export: %v", err)
 			}
 		}

@@ -31,7 +31,7 @@ type PlannerPool struct {
 	dev   device.Device
 
 	mu   sync.Mutex
-	free []*Planner
+	free []*Planner // lint:guardedby mu
 }
 
 // NewPlannerPool creates an empty pool for the configuration. No

@@ -36,7 +36,10 @@ var Trace *obs.Tracer
 // forEach runs fn(i) for every i in [0, n), on up to GOMAXPROCS
 // workers. Work is handed out dynamically (cells vary wildly in cost:
 // an infeasible cell fails fast, a near-frontier scale search plans
-// dozens of times).
+// dozens of times). The Add-before-spawn / deferred-Done / Wait shape
+// is load-bearing: the gojoin lint rule proves every goroutine spawned
+// here is joined before forEach returns, so no worker can outlive the
+// sweep holding references into the caller-owned results slice.
 func forEach(n int, fn func(int)) {
 	if rec := Obs; rec != nil {
 		inner := fn

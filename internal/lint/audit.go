@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AllowSite is one //lint:allow directive found in the module. The
+// suppression mechanism (collectSuppressions) honors a directive with
+// or without a reason; the audit layer is what makes the reason
+// mandatory, so a suppression can never silently outlive the
+// justification it was added with.
+type AllowSite struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Rules    []string `json:"rules"`
+	Reason   string   `json:"reason,omitempty"`
+	FileWide bool     `json:"file_wide,omitempty"`
+}
+
+// String renders the site in file:line form for the -audit listing.
+func (s AllowSite) String() string {
+	scope := ""
+	if s.FileWide {
+		scope = " (file-wide)"
+	}
+	reason := s.Reason
+	if reason == "" {
+		reason = "<MISSING REASON>"
+	}
+	return fmt.Sprintf("%s:%d: allow %s%s — %s", s.File, s.Line, strings.Join(s.Rules, ","), scope, reason)
+}
+
+// Audit lists every //lint:allow directive in the packages, sorted by
+// file then line. Directives missing a reason are additionally
+// returned as diagnostics (rule "lint-audit") so the audit gate can
+// fail on them; these diagnostics deliberately bypass the suppression
+// pass — an allow cannot allow itself.
+func Audit(pkgs []*Package) ([]AllowSite, []Diagnostic) {
+	var sites []AllowSite
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pkgLine := pkg.Fset.Position(f.Package).Line
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					site := AllowSite{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Reason:   strings.TrimSpace(m[2]),
+						FileWide: pos.Line < pkgLine,
+					}
+					for _, rule := range strings.Split(m[1], ",") {
+						if rule = strings.TrimSpace(rule); rule != "" {
+							site.Rules = append(site.Rules, rule)
+						}
+					}
+					sites = append(sites, site)
+					if site.Reason == "" {
+						diags = append(diags, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Rule: "lint-audit",
+							Message: fmt.Sprintf("lint:allow %s has no reason: every suppression must say why the pattern is safe",
+								strings.Join(site.Rules, ",")),
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	return sites, diags
+}

@@ -10,7 +10,14 @@ import (
 // violation (OOM, unschedulable graph, failed export) into silent
 // divergence — the verifier can only catch what reaches it. Assigning
 // the error to `_` is treated as an explicit, reviewable
-// acknowledgment and is not flagged, nor are deferred cleanups.
+// acknowledgment and is not flagged, nor are deferred cleanups —
+// with one exception: `defer f.Close()` on an *os.File opened for
+// writing. There the Close error is the write: buffered data is
+// flushed at Close, and dropping it silently truncates the exported
+// plan or metrics file. Close explicitly and return the error (see
+// the write-then-Close helpers in the cmd/ tools), or suppress it
+// inside a deferred closure with `_ = f.Close()` where a best-effort
+// write is genuinely acceptable.
 //
 // Calls that cannot fail in practice are exempt: fmt.Print* to stdout,
 // and any write to strings.Builder / bytes.Buffer (their Write methods
@@ -24,7 +31,12 @@ var ErrDrop = &Analyzer{
 func runErrDrop(p *Pass) {
 	errType := types.Universe.Lookup("error").Type()
 	for _, f := range p.Files {
+		writable := writableFiles(p, f)
 		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				checkDeferredClose(p, d, writable)
+				return true
+			}
 			es, ok := n.(*ast.ExprStmt)
 			if !ok {
 				return true
@@ -44,6 +56,87 @@ func runErrDrop(p *Pass) {
 			return true
 		})
 	}
+}
+
+// writableFiles collects the *os.File variables in f that were opened
+// for writing: assigned from os.Create, or from os.OpenFile with a
+// flag expression mentioning any write-mode flag.
+func writableFiles(p *Pass, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(p, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		switch fn.Name() {
+		case "Create":
+		case "OpenFile":
+			if len(call.Args) < 2 || !hasWriteFlag(p, call.Args[1]) {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasWriteFlag reports whether a flag expression names any os.O_*
+// write-mode flag (O_WRONLY, O_RDWR, O_APPEND, O_CREATE, O_TRUNC).
+func hasWriteFlag(p *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[sel.Sel].(*types.Const)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+			return true
+		}
+		switch obj.Name() {
+		case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkDeferredClose flags `defer f.Close()` when f was opened for
+// writing in this file.
+func checkDeferredClose(p *Pass, d *ast.DeferStmt, writable map[types.Object]bool) {
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || !writable[obj] {
+		return
+	}
+	p.Reportf(d.Call.Pos(),
+		"deferred Close on %s discards the flush error of a file opened for writing (close explicitly and return the error, or suppress with _ = %s.Close() in a deferred closure)",
+		id.Name, id.Name)
 }
 
 func resultHasError(t types.Type, errType types.Type) bool {

@@ -1,0 +1,45 @@
+package lint
+
+// GuardedBy enforces the lock annotations on shared mutable state:
+// a struct field carrying `// lint:guardedby mu` may only be read
+// while mu is held (RLock or Lock for a sync.RWMutex) and written
+// while mu is held exclusively.
+//
+// The check is interprocedural: each function's summary (interp.go)
+// simulates its lock set in source order — Lock/RLock acquire,
+// Unlock/RUnlock release, `defer mu.Unlock()` holds to the end,
+// branches that return discard their lock changes — and classifies
+// every guarded access. An access on the method's own receiver
+// without the lock becomes a *requirement* on callers rather than an
+// immediate finding; the requirement is then discharged at every call
+// site (the caller must hold the receiver's lock there) or reported
+// when no caller set can be trusted: exported methods, address-taken
+// functions, interface-dispatched methods, and functions with no
+// in-module callers must lock for themselves.
+//
+// Objects constructed in the current function (`s := &series{...}`)
+// are exempt until they escape — an unpublished object has no
+// concurrent readers. Malformed annotations (a lock field that does
+// not exist or is not a sync.Mutex/RWMutex) are findings too: a
+// contract that cannot be checked must not silently pass.
+var GuardedBy = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "lint:guardedby field accessed without holding its lock",
+	RunModule: runGuardedBy,
+}
+
+func runGuardedBy(mp *ModulePass) {
+	for _, p := range mp.Interp.Ann.Problems {
+		if p.rule == "guardedby" {
+			mp.Reportf(p.pkg, p.pos, "%s", p.msg)
+		}
+	}
+	for _, scc := range mp.Interp.Graph.SCCs {
+		for _, fi := range scc {
+			sum := mp.Interp.Summaries[fi.Fn]
+			for _, v := range sum.Violations {
+				mp.Reportf(v.pkg, v.pos, "%s", v.msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,606 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The interprocedural analyzers (guardedby, nilsafe, gojoin) are
+// tested the same way as the syntactic ones: synthetic packages,
+// golden "line:rule" expectations. Each table deliberately pairs a
+// positive case (the bug fires) with its minimal negative twin (add
+// the lock / the nil guard / the join and the finding disappears) —
+// the same property the dogfood gate relies on for the real module.
+
+func TestGuardedBy(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "unguarded write fires",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump() { s.n++ }`,
+			want: []string{"7:guardedby"},
+		},
+		{
+			name: "lock around the write is clean",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}`,
+			want: nil,
+		},
+		{
+			name: "access after Unlock fires",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.n++
+}`,
+			want: []string{"10:guardedby"},
+		},
+		{
+			name: "deferred unlock holds to the end of the function",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}`,
+			want: nil,
+		},
+		{
+			name: "rwmutex read under RLock is clean, write under RLock fires",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+func (s *S) Bump() {
+	s.mu.RLock()
+	s.n++
+	s.mu.RUnlock()
+}`,
+			want: []string{"14:guardedby"},
+		},
+		{
+			name: "read without even RLock fires",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Get() int { return s.n }`,
+			want: []string{"7:guardedby"},
+		},
+		{
+			name: "unexported helper inherits the caller's lock",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) bumpLocked() { s.n++ }
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}`,
+			want: nil,
+		},
+		{
+			// The requirement propagates out of the helper into Race;
+			// Race is exported so it cannot push it further, and the
+			// finding lands on the underlying field access with Race
+			// named in the message.
+			name: "calling a lock-requiring helper without the lock fires",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) bumpLocked() { s.n++ }
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+func (s *S) Race() { s.bumpLocked() }`,
+			want: []string{"7:guardedby"},
+		},
+		{
+			name: "exported method may not push its requirement to callers",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) BumpLocked() { s.n++ }
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.BumpLocked()
+	s.mu.Unlock()
+}`,
+			want: []string{"7:guardedby"},
+		},
+		{
+			name: "early-return branch that unlocks does not poison the fallthrough",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump(stop bool) {
+	s.mu.Lock()
+	if stop {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}`,
+			want: nil,
+		},
+		{
+			name: "freshly constructed value is exempt until published",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func New(n int) *S {
+	s := &S{}
+	s.n = n
+	return s
+}`,
+			want: nil,
+		},
+		{
+			name: "guardedby naming a missing lock field is itself a finding",
+			src: `package core
+type S struct {
+	n int // lint:guardedby mu
+}`,
+			want: []string{"3:guardedby"},
+		},
+		{
+			name: "guardedby naming a non-mutex sibling is a finding",
+			src: `package core
+type S struct {
+	mu int
+	n  int // lint:guardedby mu
+}`,
+			want: []string{"4:guardedby"},
+		},
+		{
+			name: "locking a different instance does not count",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func Move(a, b *S) {
+	a.mu.Lock()
+	b.n++
+	a.mu.Unlock()
+}`,
+			want: []string{"9:guardedby"},
+		},
+		{
+			name: "goroutine body does not inherit the spawner's lock",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump(done chan struct{}) {
+	s.mu.Lock()
+	go func() {
+		s.n++
+		close(done)
+	}()
+	s.mu.Unlock()
+	<-done
+}`,
+			want: []string{"10:guardedby"},
+		},
+		{
+			name: "switch arms each see the pre-switch lock state",
+			src: `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Set(k, v int) {
+	s.mu.Lock()
+	switch k {
+	case 0:
+		s.n = v
+	default:
+		s.n = -v
+	}
+	s.mu.Unlock()
+}`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, runOn(t, corePath, "guardedby_case.go", tc.src, GuardedBy), tc.want...)
+		})
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "exported method dereferencing before any guard fires",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Get() int { return t.n }`,
+			want: []string{"4:nilsafe"},
+		},
+		{
+			name: "leading nil guard is clean",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Get() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}`,
+			want: nil,
+		},
+		{
+			name: "guard combined with a deref in the same condition is clean (short-circuit)",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Bump() {
+	if t == nil || t.n > 0 {
+		return
+	}
+	t.n++
+}`,
+			want: nil,
+		},
+		{
+			name: "deref on the left of the guard fires",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Bump() {
+	if t.n > 0 || t == nil {
+		return
+	}
+	t.n++
+}`,
+			want: []string{"5:nilsafe"},
+		},
+		{
+			name: "non-nil guard wrapping the body is clean",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Bump() {
+	if t != nil {
+		t.n++
+	}
+}`,
+			want: nil,
+		},
+		{
+			name: "transitively nil-safe callee discharges the obligation",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) get() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+func (t *T) Get() int { return t.get() }`,
+			want: nil,
+		},
+		{
+			name: "calling an unguarded helper counts as a dereference",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) get() int { return t.n }
+func (t *T) Get() int { return t.get() }`,
+			want: []string{"5:nilsafe"},
+		},
+		{
+			name: "unexported methods are not required to guard",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) get() int { return t.n }`,
+			want: nil,
+		},
+		{
+			name: "guard must come before the deref, not after",
+			src: `package obs
+// lint:nilsafe
+type T struct{ n int }
+func (t *T) Get() int {
+	n := t.n
+	if t == nil {
+		return 0
+	}
+	return n
+}`,
+			want: []string{"5:nilsafe"},
+		},
+		{
+			name: "unannotated type is unconstrained",
+			src: `package obs
+type T struct{ n int }
+func (t *T) Get() int { return t.n }`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, runOn(t, "tsplit/internal/obs", "nilsafe_case.go", tc.src, NilSafe), tc.want...)
+		})
+	}
+}
+
+func TestGoJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "fire-and-forget goroutine fires",
+			path: corePath,
+			src: `package core
+func f() {
+	go func() {}()
+}`,
+			want: []string{"3:gojoin"},
+		},
+		{
+			name: "waitgroup add/done/wait is clean",
+			path: corePath,
+			src: `package core
+import "sync"
+func f(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}`,
+			want: nil,
+		},
+		{
+			name: "removing the Wait makes the same code fire",
+			path: corePath,
+			src: `package core
+import "sync"
+func f(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}`,
+			want: []string{"7:gojoin"},
+		},
+		{
+			name: "channel collect after the spawn is clean",
+			path: corePath,
+			src: `package core
+func f() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}`,
+			want: nil,
+		},
+		{
+			name: "sending on a channel nobody receives fires",
+			path: corePath,
+			src: `package core
+func f(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}`,
+			want: []string{"3:gojoin"},
+		},
+		{
+			name: "range over the collect channel is a join",
+			path: corePath,
+			src: `package core
+func f(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() { ch <- 1 }()
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s += <-ch
+	}
+	return s
+}`,
+			want: nil,
+		},
+		{
+			name: "named worker that Dones a WaitGroup parameter is joined",
+			path: corePath,
+			src: `package core
+import "sync"
+func worker(wg *sync.WaitGroup, i int) {
+	defer wg.Done()
+	_ = i
+}
+func f(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg, i)
+	}
+	wg.Wait()
+}`,
+			want: nil,
+		},
+		{
+			name: "spawner taking the WaitGroup as a parameter delegates the join",
+			path: corePath,
+			src: `package core
+import "sync"
+func spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}`,
+			want: nil,
+		},
+		{
+			name: "goroutines outside the concurrency packages are not checked",
+			path: "tsplit/internal/models",
+			src: `package models
+func f() {
+	go func() {}()
+}`,
+			want: nil,
+		},
+		{
+			name: "goroutine in sim is checked",
+			path: "tsplit/internal/sim",
+			src: `package sim
+func f() {
+	go func() {}()
+}`,
+			want: []string{"3:gojoin"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expect(t, runOn(t, tc.path, "gojoin_case.go", tc.src, GoJoin), tc.want...)
+		})
+	}
+}
+
+// TestInterpCallGraph pins the call-graph layer itself: static edges,
+// interface resolution to in-module implementations, and SCC order.
+func TestInterpCallGraph(t *testing.T) {
+	src := `package core
+type doer interface{ do() }
+type impl struct{}
+func (impl) do() {}
+func a() { b() }
+func b() { a() }
+func use(d doer) { d.do() }
+func top() { use(impl{}) }`
+	pkg := checkSrc(t, corePath, "callgraph_case.go", src)
+	in := NewInterp([]*Package{pkg})
+
+	byName := map[string]*FuncInfo{}
+	for fn, fi := range in.Graph.Funcs {
+		byName[fn.Name()] = fi
+	}
+	for _, want := range []string{"do", "a", "b", "use", "top"} {
+		if byName[want] == nil {
+			t.Fatalf("call graph is missing %s (have %d funcs)", want, len(byName))
+		}
+	}
+	if !in.Graph.SameSCC(byName["a"], byName["b"]) {
+		t.Errorf("mutually recursive a and b should share an SCC")
+	}
+	if in.Graph.SameSCC(byName["a"], byName["top"]) {
+		t.Errorf("top must not be in a/b's SCC")
+	}
+	var viaIface bool
+	for _, e := range byName["use"].Callees {
+		if e.Callee == byName["do"] && e.ViaInterface {
+			viaIface = true
+		}
+	}
+	if !viaIface {
+		t.Errorf("use's d.do() should resolve to impl.do via the interface: %+v", byName["use"].Callees)
+	}
+	if len(in.Summaries) != len(in.Graph.Funcs) {
+		t.Errorf("every function should have a summary: %d != %d", len(in.Summaries), len(in.Graph.Funcs))
+	}
+}
+
+func TestGuardedByMessageNamesTheLock(t *testing.T) {
+	src := `package core
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // lint:guardedby mu
+}
+func (s *S) Bump() { s.n++ }`
+	diags := runOn(t, corePath, "guardedby_msg.go", src, GuardedBy)
+	if len(diags) != 1 {
+		t.Fatalf("want one finding, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, `"mu"`) || !strings.Contains(diags[0].Message, "guardedby") {
+		t.Fatalf("message should name the lock and the annotation: %q", diags[0].Message)
+	}
+}

@@ -25,9 +25,29 @@
 //     sim, resilient) whose span is never End()ed in the same
 //     function — a leak that poisons tsplit-doctor's phase latencies.
 //
-// Findings can be suppressed with a `//lint:allow <rule>[ reason]`
+// On top of the per-package rules, an interprocedural layer (a module
+// call graph plus per-function summaries computed bottom-up over its
+// SCCs — see callgraph.go and interp.go) checks declared concurrency
+// contracts:
+//
+//   - guardedby: a struct field annotated `// lint:guardedby mu` may
+//     only be read with mu held (RLock or Lock) and written with mu
+//     held exclusively — directly, or in a helper every caller of
+//     which provably holds the lock.
+//   - nilsafe: a type annotated `// lint:nilsafe` must guard every
+//     exported pointer-receiver method with a nil-receiver check
+//     before any receiver dereference, transitively through called
+//     methods.
+//   - gojoin: every `go` statement in the planner/simulator/
+//     experiment packages must be provably joined — a WaitGroup
+//     Add/Done/Wait pairing (Done possibly through a summarized
+//     helper) or a channel-collect pattern — so worker pools cannot
+//     leak goroutines holding arena references.
+//
+// Findings can be suppressed with a `//lint:allow <rule> <reason>`
 // comment: placed above the package clause it covers the whole file,
-// otherwise it covers the line it is on and the line below it.
+// otherwise it covers the line it is on and the line below it. The
+// reason is mandatory (`tsplit-lint -audit` flags reasonless allows).
 package lint
 
 import (
@@ -58,6 +78,9 @@ func (d Diagnostic) String() string {
 type Package struct {
 	// Path is the import path ("tsplit/internal/core").
 	Path string
+	// Dir is the package directory, relative to the module root with
+	// forward slashes ("." for the root package).
+	Dir string
 	// Fset is the (module-shared) position table.
 	Fset *token.FileSet
 	// Files are the parsed non-test source files, with comments.
@@ -104,10 +127,15 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Packages restricts the analyzer to these import paths (exact
-	// match); empty means every package.
+	// match); empty means every package. For module-level analyzers
+	// the restriction applies to where findings are *reported*: the
+	// analysis itself always sees the whole module.
 	Packages []string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule, when set, runs once over the whole module with the
+	// shared interprocedural state instead of per package.
+	RunModule func(*ModulePass)
 }
 
 func (a *Analyzer) appliesTo(path string) bool {
@@ -122,9 +150,42 @@ func (a *Analyzer) appliesTo(path string) bool {
 	return false
 }
 
+// ModulePass is the run context for a module-level (interprocedural)
+// analyzer: the whole package set plus the shared call-graph and
+// summary state.
+type ModulePass struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	Interp *Interp
+
+	analyzer *Analyzer
+	only     func(path string) bool
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos, attributed to the package at
+// pkgPath. Findings outside the analyzer's package scope (or outside
+// the caller's -changed filter) are dropped.
+func (mp *ModulePass) Reportf(pkgPath string, pos token.Pos, format string, args ...any) {
+	if !mp.analyzer.appliesTo(pkgPath) {
+		return
+	}
+	if mp.only != nil && !mp.only(pkgPath) {
+		return
+	}
+	position := mp.Fset.Position(pos)
+	*mp.out = append(*mp.out, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    mp.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the project rule set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop, ScratchReuse, SpanPair}
+	return []*Analyzer{MapOrder, ClockDet, FloatEq, ErrDrop, ScratchReuse, SpanPair, GuardedBy, NilSafe, GoJoin}
 }
 
 // ByName resolves a comma-separated rule list ("maporder,errdrop").
@@ -154,16 +215,45 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run executes the analyzers over the packages, filters suppressed
 // findings, and returns the remainder sorted by position then rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunFiltered(pkgs, analyzers, nil)
+}
+
+// RunFiltered is Run with a reporting filter: when only is non-nil,
+// findings are kept only for packages it accepts. The interprocedural
+// analyzers still see the whole module (call graphs do not respect
+// -changed boundaries); only the reporting is narrowed.
+func RunFiltered(pkgs []*Package, analyzers []*Analyzer, only func(path string) bool) []Diagnostic {
 	var diags []Diagnostic
+	var interp *Interp
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			interp = NewInterp(pkgs)
+			break
+		}
+	}
 	for _, pkg := range pkgs {
+		if only != nil && !only(pkg.Path) {
+			continue
+		}
 		for _, a := range analyzers {
-			if !a.appliesTo(pkg.Path) {
+			if a.Run == nil || !a.appliesTo(pkg.Path) {
 				continue
 			}
 			a.Run(&Pass{
 				Fset: pkg.Fset, Files: pkg.Files, Path: pkg.Path,
 				Pkg: pkg.Types, Info: pkg.Info,
 				rule: a.Name, out: &diags,
+			})
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			a.RunModule(&ModulePass{
+				Fset: pkgs[0].Fset, Pkgs: pkgs, Interp: interp,
+				analyzer: a, only: only, out: &diags,
 			})
 		}
 	}
@@ -184,8 +274,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// allowRe matches `lint:allow rule1,rule2 optional reason`.
-var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z0-9_,-]+)`)
+// allowRe matches `lint:allow rule1,rule2 reason...`, capturing the
+// rule list and the (mandatory — see Audit) trailing reason.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z0-9_,-]+)[ \t]*(.*?)\s*$`)
 
 // suppressions holds the allow state of one file.
 type suppressions struct {

@@ -397,6 +397,89 @@ import (
 func f(w io.Writer) { fmt.Fprintf(w, "x") }`,
 			want: []string{"6:errdrop"},
 		},
+		{
+			name: "deferred Close on a file opened for writing fires",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}`,
+			want: []string{"8:errdrop"},
+		},
+		{
+			name: "deferred Close on a read-only file stays exempt",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.Open("in")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}`,
+			want: nil,
+		},
+		{
+			name: "deferred Close on a write-mode OpenFile fires",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.OpenFile("out", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}`,
+			want: []string{"8:errdrop"},
+		},
+		{
+			name: "deferred Close on a read-mode OpenFile stays exempt",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.OpenFile("in", os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}`,
+			want: nil,
+		},
+		{
+			name: "explicit Close returning the error is the encouraged pattern",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}`,
+			want: nil,
+		},
+		{
+			name: "suppressing inside a deferred closure is an explicit acknowledgment",
+			src: `package core
+import "os"
+func f() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return nil
+}`,
+			want: nil,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -45,6 +46,7 @@ func LoadModule(dir string) (*Module, error) {
 	fset := token.NewFileSet()
 	type rawPkg struct {
 		path    string
+		dir     string // module-relative, forward slashes, "." for root
 		files   []*ast.File
 		imports []string // module-internal import paths
 	}
@@ -66,7 +68,7 @@ func LoadModule(dir string) (*Module, error) {
 		if rel != "." {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
-		rp := &rawPkg{path: path, files: files}
+		rp := &rawPkg{path: path, dir: filepath.ToSlash(rel), files: files}
 		seen := map[string]bool{}
 		for _, f := range files {
 			for _, imp := range f.Imports {
@@ -129,7 +131,7 @@ func LoadModule(dir string) (*Module, error) {
 			return fmt.Errorf("lint: type-checking %s: %w", path, err)
 		}
 		imp.checked[path] = tpkg
-		pkg := &Package{Path: path, Fset: fset, Files: rp.files, Types: tpkg, Info: info}
+		pkg := &Package{Path: path, Dir: rp.dir, Fset: fset, Files: rp.files, Types: tpkg, Info: info}
 		byPath[path] = pkg
 		state[path] = 2
 		return nil
@@ -205,17 +207,29 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
-// parseDir parses the non-test Go files of one directory.
+// parseDir parses the non-test Go files of one directory. Files whose
+// build constraints — //go:build (or legacy // +build) lines and
+// _GOOS/_GOARCH filename suffixes — exclude them from the current
+// platform are skipped, exactly as `go build` would skip them:
+// analyzing a file the build never compiles produces findings nobody
+// can act on, and may not even type-check against the rest of the
+// package. A file go/build cannot classify (e.g. no package clause)
+// falls through to the parser so the load error names the real
+// problem instead of hiding the file.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	ctx := build.Default
 	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if match, err := ctx.MatchFile(dir, name); err == nil && !match {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// NilSafe mechanizes the "nil tracer is a zero-cost no-op" contract:
+// a type annotated `// lint:nilsafe` (obs.Tracer, obs.Span,
+// obs.Flight, obs.Dumper) promises that calling any exported method
+// on a nil pointer is a harmless no-op. Instrumented code threads a
+// possibly-nil pointer through planner, simulator, and ladder
+// unconditionally, so one missing guard turns "tracing disabled" into
+// a panic on a hot path — something bench-guard can only spot-check
+// at the call sites it happens to execute.
+//
+// Each pointer-receiver method's summary (interp.go) walks the body
+// in source order: a `if r == nil { return }` guard (or a guarded
+// `if r != nil { ... }` region) must dominate every receiver
+// dereference. Calling another method on the receiver counts as a
+// dereference unless that method's own summary proved it nil-safe —
+// the transitive case that lets obs.Tracer.WriteJSON stay guard-free
+// by delegating to the guarded Tree. Unexported helpers may assume a
+// non-nil receiver (they are only reachable through guarded exported
+// methods, whose call sites this analysis checks); exported methods
+// must guard for themselves.
+var NilSafe = &Analyzer{
+	Name:      "nilsafe",
+	Doc:       "exported method of a lint:nilsafe type dereferences the receiver before a nil check",
+	RunModule: runNilSafe,
+}
+
+func runNilSafe(mp *ModulePass) {
+	for _, scc := range mp.Interp.Graph.SCCs {
+		for _, fi := range scc {
+			sum := mp.Interp.Summaries[fi.Fn]
+			if sum.NilSafe || !fi.Decl.Name.IsExported() {
+				continue
+			}
+			recv := fi.Fn.Type().(*types.Signature).Recv()
+			named := recv.Type().(*types.Pointer).Elem().(*types.Named)
+			mp.Reportf(fi.Pkg.Path, sum.nilPos,
+				"%s is lint:nilsafe, but exported method %s %s before any nil-receiver check (add `if %s == nil { return ... }` first)",
+				named.Obj().Name(), fi, sum.nilWhat, receiverName(fi))
+		}
+	}
+}
+
+func receiverName(fi *FuncInfo) string {
+	if obj := receiverObj(fi); obj != nil {
+		return obj.Name()
+	}
+	return "recv"
+}

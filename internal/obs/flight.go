@@ -27,12 +27,15 @@ type Event struct {
 // failure. Recording is concurrency-safe and nil-safe (a nil *Flight
 // drops everything at the cost of one nil check), so the same pointer
 // threads through planner, simulator, and ladder unconditionally.
+//
+// lint:nilsafe — every exported method must guard the receiver before
+// dereferencing it; tsplit-lint proves it.
 type Flight struct {
 	mu    sync.Mutex
 	clock Clock
 	t0    time.Time
-	buf   []Event // ring storage; entry for seq s lives at s % cap
-	seq   uint64  // next sequence number == total events ever recorded
+	buf   []Event // lint:guardedby mu — ring storage; entry for seq s lives at s % cap
+	seq   uint64  // lint:guardedby mu — next sequence number == total events ever recorded
 }
 
 // DefaultFlightSize is the ring capacity used when callers pass a
@@ -131,6 +134,9 @@ type Dump struct {
 // sink errors are retained (Err) rather than propagated, because
 // triggers fire from failure paths that must not gain new failure
 // modes of their own.
+//
+// lint:nilsafe — a nil *Dumper ignores triggers; every exported
+// method guards the receiver first.
 type Dumper struct {
 	Flight   *Flight
 	Registry *Registry
@@ -138,8 +144,8 @@ type Dumper struct {
 	Sink     func(*Dump) error
 
 	mu       sync.Mutex
-	triggers []string
-	err      error
+	triggers []string // lint:guardedby mu
+	err      error    // lint:guardedby mu
 }
 
 // Trigger snapshots the current state under the given reason and

@@ -74,12 +74,12 @@ type series struct {
 	kind   metricKind
 
 	mu      sync.Mutex
-	counter int64
-	gauge   float64
+	counter int64   // lint:guardedby mu
+	gauge   float64 // lint:guardedby mu
 	// histogram state: counts[i] counts observations <= bounds[i];
 	// counts[len(bounds)] is the +Inf overflow bucket.
-	bounds []float64
-	counts []int64
-	sum    float64
-	count  int64
+	bounds []float64 // lint:guardedby mu
+	counts []int64   // lint:guardedby mu
+	sum    float64   // lint:guardedby mu
+	count  int64     // lint:guardedby mu
 }

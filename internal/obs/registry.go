@@ -12,9 +12,9 @@ import (
 // named series. The zero value is not usable; create with NewRegistry.
 type Registry struct {
 	mu      sync.RWMutex
-	series  map[string]*series
-	help    map[string]string
-	buckets map[string][]float64
+	series  map[string]*series   // lint:guardedby mu
+	help    map[string]string    // lint:guardedby mu
+	buckets map[string][]float64 // lint:guardedby mu
 }
 
 // NewRegistry creates an empty registry.

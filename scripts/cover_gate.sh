@@ -1,15 +1,16 @@
 #!/bin/sh
-# Coverage gate for the planner core, the runtime simulator, and the
-# observability layer — the packages whose correctness the
-# differential, fault-injection, and postmortem test layers lean on.
-# Fails when any package's statement coverage drops below the floor.
+# Coverage gate for the planner core, the runtime simulator, the
+# observability layer, and the static-analysis engine — the packages
+# whose correctness the differential, fault-injection, postmortem, and
+# lint-dogfood layers lean on. Fails when any package's statement
+# coverage drops below the floor.
 set -eu
 
 GO=${GO:-go}
 FLOOR=80.0
 
 fail=0
-for pkg in ./internal/core ./internal/sim ./internal/obs; do
+for pkg in ./internal/core ./internal/sim ./internal/obs ./internal/lint; do
 	profile=$(mktemp)
 	"$GO" test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
 	total=$("$GO" tool cover -func="$profile" | awk 'END {gsub(/%/, "", $NF); print $NF}')
