@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt lint lint-audit build test race bench bench-guard verify-plans cover doctor-smoke ci
+.PHONY: all vet fmt lint lint-audit build test race bench bench-guard verify-plans cover doctor-smoke serve-smoke ci
 
 all: ci
 
@@ -63,4 +63,10 @@ cover:
 doctor-smoke:
 	sh scripts/doctor_smoke.sh
 
-ci: vet fmt lint lint-audit build race bench bench-guard verify-plans cover doctor-smoke
+# Planning-service smoke: tsplit-serve -smoke (plan miss ->
+# byte-identical hit over a real listener) -> metrics + dump artifacts
+# -> tsplit-doctor reads the dump back with the serve phases present.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: vet fmt lint lint-audit build race bench bench-guard verify-plans cover doctor-smoke serve-smoke

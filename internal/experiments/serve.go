@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tsplit/internal/serve"
+)
+
+// ServeReport summarizes a load sweep against the planning service:
+// a cold pass that plans every distinct key once, a hot storm where
+// hundreds of concurrent clients replay those keys (cache hits), a
+// coalescing burst of identical requests on a fresh key, and an
+// overload burst against a deliberately tiny server that must shed.
+type ServeReport struct {
+	Clients     int // concurrent clients in the hot phase
+	HotRequests int // total requests in the hot phase
+	DistinctKey int // distinct plan keys in the sweep
+
+	ColdP50, ColdP99 time.Duration // miss latency: full planner run
+	HotP50, HotP99   time.Duration // hit latency: cached bytes
+
+	HitRate     float64 // cold+hot cache hit rate
+	PlannerRuns int64   // planner executions on the main server (one per distinct key)
+
+	PlanDelay time.Duration // synthetic planner latency on the tiny server
+	BurstReqs int           // identical simultaneous requests in the coalescing burst
+	BurstRuns int64         // planner executions those collapsed to
+	Coalesced int64         // waiters that joined the in-flight run
+
+	OverloadReqs int     // distinct-key requests thrown at the tiny server
+	Shed         int64   // 429s it answered
+	ShedRate     float64 // Shed / OverloadReqs
+}
+
+// planBody builds the request body for the i-th distinct key: a
+// deterministic random-graph spec, so distinct keys are cheap to plan
+// and the sweep scales to many of them.
+func planBody(i int) string {
+	return fmt.Sprintf(`{"spec":{"seed":%d},"device":"P100"}`, 1000+i)
+}
+
+// slowBody builds the i-th distinct key on the delayed servers: one
+// shared workload (spec seed 9999, prewarmed), distinct capacity
+// budgets so each i is a distinct plan key without paying a graph
+// build per key.
+func slowBody(i int) string {
+	return fmt.Sprintf(`{"spec":{"seed":9999},"options":{"capacity_bytes":%d}}`,
+		1<<30+int64(i)<<20)
+}
+
+// postOnce sends one plan request and returns its latency, status,
+// and cache state. The response body is drained so the client
+// connection is reusable.
+func postOnce(client *http.Client, url, body string) (time.Duration, int, string, error) {
+	start := Clock()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for keep-alive reuse
+	_ = resp.Body.Close()
+	return Clock().Sub(start), resp.StatusCode, resp.Header.Get("X-Tsplit-Cache"), nil
+}
+
+// ServeLoad runs the tsplit-serve load sweep over a real HTTP stack
+// (httptest listener, keep-alive client pool). quick trims client
+// counts for CI; the full sweep runs hundreds of concurrent clients.
+func ServeLoad(quick bool) (*ServeReport, error) {
+	clients, perClient, distinct := 256, 16, 12
+	if quick {
+		clients, perClient, distinct = 48, 6, 6
+	}
+	rep := &ServeReport{Clients: clients, HotRequests: clients * perClient, DistinctKey: distinct}
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		MaxQueue:      clients * perClient,
+		CacheEntries:  distinct + 8,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	transport := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	// Cold pass: every distinct key planned once, sequentially, so the
+	// cold percentiles measure planner latency, not queueing.
+	cold := make([]time.Duration, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		d, code, state, err := postOnce(client, ts.URL+"/v1/plan", planBody(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve cold key %d: %w", i, err)
+		}
+		if code != http.StatusOK || state != "miss" {
+			return nil, fmt.Errorf("serve cold key %d: status %d cache %q", i, code, state)
+		}
+		cold = append(cold, d)
+	}
+
+	// Hot storm: concurrent clients replay the planned keys; every
+	// request must hit the cache.
+	hot := make([]time.Duration, clients*perClient)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				d, code, _, err := postOnce(client, ts.URL+"/v1/plan", planBody((c+i)%distinct))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if code != http.StatusOK {
+					errs[c] = fmt.Errorf("hot client %d: status %d", c, code)
+					return
+				}
+				hot[c*perClient+i] = d
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	reg := srv.Metrics()
+	hits := reg.Counter("tsplit_serve_cache_hits_total")
+	misses := reg.Counter("tsplit_serve_cache_misses_total")
+	rep.PlannerRuns = reg.Counter("tsplit_serve_planner_runs_total")
+	if hits+misses > 0 {
+		// The cold pass is the misses by design; the hit rate is
+		// measured over cold + hot together.
+		rep.HitRate = float64(hits) / float64(hits+misses)
+	}
+	rep.ColdP50, rep.ColdP99 = percentile(cold, 50), percentile(cold, 99)
+	rep.HotP50, rep.HotP99 = percentile(hot, 50), percentile(hot, 99)
+
+	// The queueing phases run against a deliberately tiny server — one
+	// planner slot, two queue slots — with synthetic planner latency.
+	// A real planner run is 1–2 ms of non-yielding CPU: on a
+	// single-core runner the scheduler serializes whole requests and
+	// no queue can form, so the delay is what makes contention
+	// reproducible across machines. The delay sits far above the
+	// burst's arrival spread and far below anything wall-clock flaky.
+	delay := 40 * time.Millisecond
+	rep.PlanDelay = delay
+	tiny := serve.New(serve.Config{MaxConcurrent: 1, MaxQueue: 2, PlanDelay: delay})
+	tinyTS := httptest.NewServer(tiny)
+	defer tinyTS.Close()
+	if _, code, _, err := postOnce(client, tinyTS.URL+"/v1/plan", slowBody(0)); err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("serve queueing prewarm: status %d err %w", code, err)
+	}
+
+	// Coalescing burst: many simultaneous clients, one fresh key. Only
+	// the leader occupies the planner slot; everyone arriving during
+	// its run joins it, so identical requests cannot overload the
+	// server no matter how many arrive.
+	burst := clients / 2
+	rep.BurstReqs = burst
+	burstStart := make(chan struct{})
+	burstErrs := make([]error, burst)
+	var ready sync.WaitGroup
+	for c := 0; c < burst; c++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Establish this client's connection first, then fire at the
+			// barrier: the burst lands inside the leader's planning window
+			// instead of being smeared across TCP dials.
+			if resp, err := client.Get(tinyTS.URL + "/healthz"); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+			ready.Done()
+			<-burstStart
+			_, code, _, err := postOnce(client, tinyTS.URL+"/v1/plan", slowBody(1))
+			if err == nil && code != http.StatusOK {
+				err = fmt.Errorf("burst client %d: status %d", c, code)
+			}
+			burstErrs[c] = err
+		}(c)
+	}
+	ready.Wait()
+	close(burstStart)
+	wg.Wait()
+	for _, err := range burstErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Coalesced = tiny.Metrics().Counter("tsplit_serve_coalesced_total")
+	rep.BurstRuns = tiny.Metrics().Counter("tsplit_serve_planner_runs_total") - 1 // minus the prewarm
+
+	// Overload: the same tiny server takes the same burst shape but
+	// with distinct keys — no coalescing to hide behind — and must
+	// shed the overflow with 429s rather than queueing without bound.
+	rep.OverloadReqs = clients
+	overloadErrs := make([]error, clients)
+	overloadStart := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if resp, err := client.Get(tinyTS.URL + "/healthz"); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+			ready.Done()
+			<-overloadStart
+			_, code, _, err := postOnce(client, tinyTS.URL+"/v1/plan", slowBody(2+c))
+			if err == nil && code != http.StatusOK && code != http.StatusTooManyRequests {
+				err = fmt.Errorf("overload client %d: status %d", c, code)
+			}
+			overloadErrs[c] = err
+		}(c)
+	}
+	ready.Wait()
+	close(overloadStart)
+	wg.Wait()
+	for _, err := range overloadErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Shed = tiny.Metrics().Counter("tsplit_serve_shed_total")
+	rep.ShedRate = float64(rep.Shed) / float64(rep.OverloadReqs)
+	return rep, nil
+}
+
+// Render formats the sweep for the bench output.
+func (r *ServeReport) Render() string {
+	var b strings.Builder
+	b.WriteString("tsplit-serve load sweep (httptest listener, keep-alive clients)\n")
+	fmt.Fprintf(&b, "clients %d, hot requests %d, distinct keys %d\n",
+		r.Clients, r.HotRequests, r.DistinctKey)
+	fmt.Fprintf(&b, "%-22s %12s %12s\n", "phase", "p50", "p99")
+	fmt.Fprintf(&b, "%-22s %12s %12s\n", "cold (planner run)", fmtDur(r.ColdP50), fmtDur(r.ColdP99))
+	fmt.Fprintf(&b, "%-22s %12s %12s\n", "hot (cache hit)", fmtDur(r.HotP50), fmtDur(r.HotP99))
+	fmt.Fprintf(&b, "hit rate %.1f%%  planner runs %d\n", 100*r.HitRate, r.PlannerRuns)
+	fmt.Fprintf(&b, "queueing phases on a 1-slot/2-queue server, %v synthetic plan latency:\n", r.PlanDelay)
+	fmt.Fprintf(&b, "  coalesce: %d identical requests -> %d planner run(s), %d joined in flight\n",
+		r.BurstReqs, r.BurstRuns, r.Coalesced)
+	fmt.Fprintf(&b, "  overload: %d distinct requests -> %d shed with 429 (%.1f%%)\n",
+		r.OverloadReqs, r.Shed, 100*r.ShedRate)
+	return b.String()
+}

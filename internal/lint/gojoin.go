@@ -31,6 +31,7 @@ var GoJoin = &Analyzer{
 		"tsplit/internal/core",
 		"tsplit/internal/sim",
 		"tsplit/internal/experiments",
+		"tsplit/internal/serve",
 	},
 	RunModule: runGoJoin,
 }

@@ -33,6 +33,7 @@ var MapOrder = &Analyzer{
 		"tsplit/internal/sim",
 		"tsplit/internal/experiments",
 		"tsplit/internal/obs",
+		"tsplit/internal/serve",
 	},
 	Run: runMapOrder,
 }

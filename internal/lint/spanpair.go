@@ -29,6 +29,7 @@ var SpanPair = &Analyzer{
 		"tsplit/internal/core",
 		"tsplit/internal/sim",
 		"tsplit/internal/resilient",
+		"tsplit/internal/serve",
 	},
 	Run: runSpanPair,
 }

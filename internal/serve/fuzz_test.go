@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+)
+
+// fuzzServer is shared across fuzz iterations so workload and plan
+// caches amortize graph builds — the fuzzer mutates request bodies far
+// faster than it invents new valid workloads.
+var (
+	fuzzOnce   sync.Once
+	fuzzSrv    *Server
+	fuzzVerify *workloadCache
+)
+
+func fuzzSetup() {
+	fuzzOnce.Do(func() {
+		fuzzSrv = New(Config{MaxConcurrent: 2, MaxQueue: 64, CacheEntries: 128})
+		fuzzVerify = newWorkloadCache(16)
+	})
+}
+
+// FuzzPlanRequest drives arbitrary bytes through the full request
+// path: decoding and validation must never panic, rejected requests
+// must map to non-200 statuses, and every accepted request must yield
+// a plan that passes the core invariant verifier.
+func FuzzPlanRequest(f *testing.F) {
+	f.Add([]byte(`{"model":"vgg16","config":{"batch_size":16},"device":"GTX 1080Ti"}`))
+	f.Add([]byte(`{"model":"resnet50","config":{"batch_size":8,"param_scale":0.5}}`))
+	f.Add([]byte(`{"spec":{"seed":7},"device":"P100"}`))
+	f.Add([]byte(`{"spec":{"seed":11},"options":{"policy":"tsplit-nosplit"}}`))
+	f.Add([]byte(`{"spec":{"seed":3},"options":{"pnums":[2,4],"safety_margin":0.1,"report":true}}`))
+	f.Add([]byte(`{"model":"vgg16","config":{"batch_size":16},"options":{"policy":"vdnn-conv"}}`))
+	f.Add([]byte(`{"model":"vgg16","options":{"capacity_bytes":1}}`))
+	f.Add([]byte(`{"model":"nosuch"}`))
+	f.Add([]byte(`{"spec":{"seed":1},"config":{"batch_size":4}}`))
+	f.Add([]byte(`{"model":"vgg16","spec":{"seed":1}}`))
+	f.Add([]byte(`{"broken`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"model":"vgg16"}{"model":"vgg16"}`))
+	f.Add([]byte(`{"model":"vgg16","config":{"batch_size":-3}}`))
+	f.Add([]byte(`{"model":"vgg16","options":{"safety_margin":2.5}}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzSetup()
+
+		// Decoding and validation must never panic, whatever the bytes.
+		req, herr := decodeRequest(body)
+
+		// Neither must the handler; its verdict must agree with the
+		// decoder's.
+		hr := httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		fuzzSrv.ServeHTTP(w, hr)
+		if herr != nil {
+			if w.Code == http.StatusOK {
+				t.Fatalf("handler accepted a request the validator rejects (%v): %s", herr, body)
+			}
+			if w.Code != herr.status {
+				t.Fatalf("handler status %d, validator says %d: %s", w.Code, herr.status, body)
+			}
+			eb := ErrorBody{}
+			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error.Code == "" {
+				t.Fatalf("rejection body is not a structured error: %s", w.Body.String())
+			}
+			return
+		}
+		switch w.Code {
+		case http.StatusOK, http.StatusUnprocessableEntity:
+		default:
+			t.Fatalf("valid request answered %d: %s (body %s)", w.Code, body, w.Body.String())
+		}
+		if w.Code != http.StatusOK {
+			return
+		}
+		var resp PlanResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 body does not decode: %v", err)
+		}
+		isTsplit := req.Options.Policy == "tsplit" || req.Options.Policy == "tsplit-nosplit"
+		if isTsplit && resp.PredictedPeakBytes <= 0 {
+			// Baseline producers don't predict a peak; the planner always
+			// does.
+			t.Fatalf("accepted tsplit plan has non-positive predicted peak %d", resp.PredictedPeakBytes)
+		}
+
+		// Re-plan the accepted request outside the HTTP path and hold the
+		// in-memory plan to the core invariant verifier. tsplit policies
+		// must fit their effective capacity; baseline policies only
+		// guarantee structural invariants (some deliberately OOM), so they
+		// verify against an unbounded capacity.
+		wl, herr2 := fuzzVerify.get(req)
+		if herr2 != nil {
+			t.Fatalf("workload for accepted request does not build: %v", herr2)
+		}
+		var plan *core.Plan
+		var err error
+		capacity := int64(math.MaxInt64)
+		switch req.Options.Policy {
+		case "tsplit", "tsplit-nosplit":
+			pl := wl.pool.Get(core.Options{
+				Capacity:     req.Options.CapacityBytes,
+				DisableSplit: req.Options.DisableSplit || req.Options.Policy == "tsplit-nosplit",
+				PNums:        req.Options.PNums,
+				SafetyMargin: req.Options.SafetyMargin,
+			})
+			plan, err = pl.Plan()
+			wl.pool.Put(pl)
+			capacity = req.Options.CapacityBytes
+			if capacity <= 0 {
+				capacity = wl.dev.MemBytes
+			}
+		default:
+			// The server cached this policy's plan; reproduce it the same
+			// way buildResponse does.
+			plan, err = baselines.Registry[req.Options.Policy](baselines.Inputs{
+				G: wl.g, Sched: wl.sched, Lv: wl.lv, Prof: wl.prof, Dev: wl.dev,
+			})
+		}
+		if err != nil {
+			t.Fatalf("server served a plan the planner now refuses (%s): %v", req.Options.Policy, err)
+		}
+		if violations := core.VerifyAt(plan, wl.g, wl.sched, wl.lv, capacity); len(violations) != 0 {
+			for _, v := range violations {
+				t.Errorf("accepted plan violates invariant: %s", v)
+			}
+			t.Fatalf("plan for %s failed core verification", body)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package serve turns the TSPLIT planner into a long-running
+// planning service: an HTTP server that accepts (graph, device,
+// options) requests and answers with the plan, its predicted peak, and
+// an optional per-request plan report. Plans are content-addressed by
+// a canonical hash of the *built* graph plus the device profile and
+// the normalized planner options, so two requests that describe the
+// same workload differently (a zoo name vs. the spec that generates
+// the same graph) still share one cache entry, one planner run, and
+// byte-identical response bodies.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+)
+
+// digestWriter wraps a hash with length-prefixed primitive writes so
+// adjacent fields can never alias each other (the classic "ab"+"c" ==
+// "a"+"bc" collision).
+type digestWriter struct{ h hash.Hash }
+
+func (d digestWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, _ = d.h.Write(b[:]) // hash.Hash.Write never errors
+}
+
+func (d digestWriter) i64(v int64)   { d.u64(uint64(v)) }
+func (d digestWriter) i(v int)       { d.u64(uint64(int64(v))) }
+func (d digestWriter) f64(v float64) { d.u64(math.Float64bits(v)) }
+func (d digestWriter) bool(v bool) {
+	if v {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+}
+
+func (d digestWriter) str(s string) {
+	d.u64(uint64(len(s)))
+	_, _ = d.h.Write([]byte(s)) // hash.Hash.Write never errors
+}
+
+// graphDigest hashes the structural content of a graph: every tensor
+// (name, shape, dtype, kind) and every op (name, kind, phase, attrs,
+// workspace, input/output/control edges by tensor and op ID) in their
+// creation order, which BuildSchedule and the planner also key off.
+// Two graphs with the same digest plan identically on the same device
+// under the same options.
+func graphDigest(g *graph.Graph) [sha256.Size]byte {
+	d := digestWriter{h: sha256.New()}
+	d.str("tsplit.graph.v1")
+	d.i(len(g.Tensors))
+	for _, t := range g.Tensors {
+		d.i(t.ID)
+		d.str(t.Name)
+		d.i(len(t.Shape))
+		for _, dim := range t.Shape {
+			d.i(dim)
+		}
+		d.i(int(t.DType))
+		d.i(int(t.Kind))
+	}
+	d.i(len(g.Ops))
+	for _, op := range g.Ops {
+		d.i(op.ID)
+		d.str(op.Name)
+		d.i(int(op.Kind))
+		d.i(int(op.Phase))
+		d.i64(op.Workspace)
+		a := op.Attrs
+		d.i(a.KernelH)
+		d.i(a.KernelW)
+		d.i(a.StrideH)
+		d.i(a.StrideW)
+		d.i(a.PadH)
+		d.i(a.PadW)
+		d.i(a.Axis)
+		d.f64(a.Prob)
+		d.i(len(op.Inputs))
+		for _, t := range op.Inputs {
+			d.i(t.ID)
+		}
+		d.i(len(op.Outputs))
+		for _, t := range op.Outputs {
+			d.i(t.ID)
+		}
+		d.i(len(op.ControlDeps))
+		for _, c := range op.ControlDeps {
+			d.i(c.ID)
+		}
+		if op.FwdOp != nil {
+			d.i(op.FwdOp.ID)
+		} else {
+			d.i(-1)
+		}
+	}
+	var out [sha256.Size]byte
+	d.h.Sum(out[:0])
+	return out
+}
+
+// planKey derives the content address of one plan: the graph digest,
+// the device profile fields the planner and cost model read, and the
+// normalized request options (policy, capacity, split knobs, margin,
+// and whether the cached body carries a plan report — the report is
+// deterministic for a key, so it is part of the cached bytes rather
+// than recomputed per request).
+func planKey(gd [sha256.Size]byte, dev device.Device, o PlanOptions) string {
+	d := digestWriter{h: sha256.New()}
+	d.str("tsplit.plan.v1")
+	_, _ = d.h.Write(gd[:]) // hash.Hash.Write never errors
+	d.str(dev.Name)
+	d.i64(dev.MemBytes)
+	d.f64(dev.PeakFLOPS)
+	d.f64(dev.MemBandwidth)
+	d.f64(dev.PCIeBandwidth)
+	d.f64(dev.KernelLaunch)
+	d.f64(dev.SaturationFLOP)
+	d.str(o.Policy)
+	d.i64(o.CapacityBytes)
+	d.bool(o.DisableSplit)
+	d.f64(o.SafetyMargin)
+	d.i(len(o.PNums))
+	for _, p := range o.PNums {
+		d.i(p)
+	}
+	d.bool(o.Report)
+	return hex.EncodeToString(d.h.Sum(nil))
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/models"
+)
+
+// Validation ceilings: a planning service fielding arbitrary clients
+// must bound the work one request can demand. These are generous for
+// the paper's evaluation space and still keep a worst-case request in
+// the tens of milliseconds.
+const (
+	MaxBatchSize  = 1024
+	MaxParamScale = 8.0
+	MaxImageSize  = 512
+	MaxSeqLen     = 512
+	MaxPNums      = 8
+	MaxPNum       = 64
+)
+
+// GraphSpec is the inline alternative to a zoo model name: a seed for
+// the deterministic random-graph generator (internal/workload). Same
+// seed, same graph, same digest — spec-built plans cache exactly like
+// zoo plans.
+type GraphSpec struct {
+	Seed uint64 `json:"seed"`
+}
+
+// ModelConfig mirrors models.Config for the wire: only the scaling
+// knobs a client may set.
+type ModelConfig struct {
+	BatchSize  int     `json:"batch_size,omitempty"`
+	ParamScale float64 `json:"param_scale,omitempty"`
+	ImageSize  int     `json:"image_size,omitempty"`
+	SeqLen     int     `json:"seq_len,omitempty"`
+}
+
+// PlanOptions are the planner knobs a request may set. Policy selects
+// the producer: "tsplit" (default), "tsplit-nosplit" (the ablation),
+// or any baseline name (vdnn-conv, vdnn-all, checkpoints,
+// superneurons, zero-offload, fairscale-offload, base).
+type PlanOptions struct {
+	Policy        string  `json:"policy,omitempty"`
+	CapacityBytes int64   `json:"capacity_bytes,omitempty"`
+	DisableSplit  bool    `json:"disable_split,omitempty"`
+	PNums         []int   `json:"pnums,omitempty"`
+	SafetyMargin  float64 `json:"safety_margin,omitempty"`
+	// Report asks for the planner's per-iteration PlanReport in the
+	// response. It is part of the cache key: a cached body either
+	// carries the (deterministic) report or does not.
+	Report bool `json:"report,omitempty"`
+}
+
+// PlanRequest is the POST /v1/plan body. Exactly one of Model and
+// Spec must be set.
+type PlanRequest struct {
+	Model   string      `json:"model,omitempty"`
+	Spec    *GraphSpec  `json:"spec,omitempty"`
+	Config  ModelConfig `json:"config,omitempty"`
+	Device  string      `json:"device,omitempty"`
+	Options PlanOptions `json:"options,omitempty"`
+}
+
+// PlanResponse is the POST /v1/plan success body. Cache status
+// travels in the X-Tsplit-Cache header (hit | miss | coalesced), not
+// in the body, so a cache hit can return the stored bytes verbatim.
+type PlanResponse struct {
+	Key                  string           `json:"key"`
+	Model                string           `json:"model"`
+	Device               string           `json:"device"`
+	Policy               string           `json:"policy"`
+	PredictedPeakBytes   int64            `json:"predicted_peak_bytes"`
+	PredictedPeakGiB     float64          `json:"predicted_peak_gib"`
+	PredictedTimeSeconds float64          `json:"predicted_time_seconds"`
+	Plan                 json.RawMessage  `json:"plan"`
+	Report               *core.PlanReport `json:"report,omitempty"`
+}
+
+// ErrorBody is the structured error envelope every non-2xx response
+// carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names the failure class (a stable machine-readable code)
+// and explains it.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError pairs a status code with its structured body.
+type httpError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("%d %s: %s", e.status, e.code, e.message) }
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+// decodeRequest parses and validates a request body. It returns a
+// *httpError (never a bare error) so handlers can map failures
+// directly onto status codes: malformed JSON and out-of-range fields
+// are 400, an unknown model or policy is 404.
+func decodeRequest(body []byte) (*PlanRequest, *httpError) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req PlanRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, errBadRequest("trailing data after request object")
+	}
+	if err := validateRequest(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// knownPolicies returns the sorted set of accepted policy names.
+func knownPolicies() []string {
+	names := append([]string{"tsplit", "tsplit-nosplit"}, baselines.Names...)
+	sort.Strings(names)
+	return names
+}
+
+// validateRequest normalizes and bounds-checks a decoded request in
+// place.
+func validateRequest(req *PlanRequest) *httpError {
+	if (req.Model == "") == (req.Spec == nil) {
+		return errBadRequest("exactly one of \"model\" and \"spec\" must be set")
+	}
+	if req.Model != "" {
+		known := false
+		for _, name := range models.Names() {
+			if name == req.Model {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return &httpError{status: http.StatusNotFound, code: "unknown_model",
+				message: fmt.Sprintf("unknown model %q (have %v)", req.Model, models.Names())}
+		}
+	}
+	c := req.Config
+	if c.BatchSize < 0 || c.BatchSize > MaxBatchSize {
+		return errBadRequest("config.batch_size %d out of range [0, %d]", c.BatchSize, MaxBatchSize)
+	}
+	if c.ParamScale < 0 || c.ParamScale > MaxParamScale {
+		return errBadRequest("config.param_scale %g out of range [0, %g]", c.ParamScale, MaxParamScale)
+	}
+	if c.ParamScale != 0 && c.ParamScale < 0.1 {
+		return errBadRequest("config.param_scale %g below minimum 0.1", c.ParamScale)
+	}
+	if c.ImageSize < 0 || c.ImageSize > MaxImageSize {
+		return errBadRequest("config.image_size %d out of range [0, %d]", c.ImageSize, MaxImageSize)
+	}
+	if c.ImageSize != 0 && c.ImageSize < 32 {
+		return errBadRequest("config.image_size %d below minimum 32", c.ImageSize)
+	}
+	if c.SeqLen < 0 || c.SeqLen > MaxSeqLen {
+		return errBadRequest("config.seq_len %d out of range [0, %d]", c.SeqLen, MaxSeqLen)
+	}
+	if c.SeqLen != 0 && c.SeqLen < 8 {
+		return errBadRequest("config.seq_len %d below minimum 8", c.SeqLen)
+	}
+	if req.Spec != nil && (c.BatchSize != 0 || c.ParamScale != 0 || c.ImageSize != 0 || c.SeqLen != 0) {
+		return errBadRequest("config does not apply to spec-built graphs (the seed fixes every dimension)")
+	}
+	if req.Device == "" {
+		req.Device = device.TitanRTX.Name
+	}
+	if _, err := device.ByName(req.Device); err != nil {
+		return errBadRequest("unknown device %q", req.Device)
+	}
+	o := &req.Options
+	if o.Policy == "" {
+		o.Policy = "tsplit"
+	}
+	switch o.Policy {
+	case "tsplit", "tsplit-nosplit":
+	default:
+		if _, ok := baselines.Registry[o.Policy]; !ok {
+			return &httpError{status: http.StatusNotFound, code: "unknown_policy",
+				message: fmt.Sprintf("unknown policy %q (have %v)", o.Policy, knownPolicies())}
+		}
+	}
+	if o.CapacityBytes < 0 {
+		return errBadRequest("options.capacity_bytes must be >= 0 (0 = device capacity)")
+	}
+	if o.SafetyMargin < 0 || o.SafetyMargin > 0.9 {
+		return errBadRequest("options.safety_margin %g out of range [0, 0.9]", o.SafetyMargin)
+	}
+	if len(o.PNums) > MaxPNums {
+		return errBadRequest("options.pnums has %d entries, max %d", len(o.PNums), MaxPNums)
+	}
+	for _, p := range o.PNums {
+		if p < 2 || p > MaxPNum {
+			return errBadRequest("options.pnums entry %d out of range [2, %d]", p, MaxPNum)
+		}
+	}
+	if len(o.PNums) == 0 {
+		o.PNums = nil // nil and [] must share a cache key
+	}
+	if o.Policy != "tsplit" && o.Policy != "tsplit-nosplit" {
+		// Baseline producers ignore planner knobs; normalize them out of
+		// the cache key so equivalent requests share an entry.
+		if o.DisableSplit || len(o.PNums) > 0 || o.SafetyMargin != 0 {
+			return errBadRequest("options.disable_split/pnums/safety_margin apply only to the tsplit policies")
+		}
+	}
+	return nil
+}
+
+// workloadID is the normalized identity of a (graph source, config,
+// device) triple — the workload cache key. It is a human-readable
+// string rather than a hash so flight events and tests can name it.
+func (req *PlanRequest) workloadID() string {
+	if req.Spec != nil {
+		return fmt.Sprintf("spec:%d|dev:%s", req.Spec.Seed, req.Device)
+	}
+	c := req.Config
+	return fmt.Sprintf("model:%s|b:%d|ps:%g|img:%d|seq:%d|dev:%s",
+		req.Model, c.BatchSize, c.ParamScale, c.ImageSize, c.SeqLen, req.Device)
+}
+
+// displayName is the model label echoed in responses.
+func (req *PlanRequest) displayName() string {
+	if req.Spec != nil {
+		return fmt.Sprintf("spec(seed=%d)", req.Spec.Seed)
+	}
+	return req.Model
+}

@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+	"tsplit/internal/obs"
+)
+
+// Config tunes a planning server. The zero value is usable: every
+// field has a production default.
+type Config struct {
+	// CacheEntries bounds the content-addressed plan cache (default
+	// 512 plans).
+	CacheEntries int
+	// WorkloadEntries bounds the prepared-workload cache (default 32).
+	WorkloadEntries int
+	// MaxConcurrent bounds simultaneous planner runs (default
+	// GOMAXPROCS). Cache hits and coalesced waits do not occupy a
+	// slot.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a planner slot; one more
+	// sheds with 429 (default 4×MaxConcurrent).
+	MaxQueue int
+	// RequestTimeout caps one request's total time in queue + planner
+	// (0 = no timeout). Expired requests answer 503.
+	RequestTimeout time.Duration
+	// PlanDelay adds synthetic latency to every planner run, while the
+	// run holds its admission slot. Load experiments use it to model
+	// planners slower than the zoo's (larger graphs, remote profilers)
+	// so queueing, coalescing, and shedding are reproducible on any
+	// machine — a real planner run is 1–2 ms of non-yielding CPU, which
+	// a single-core runner serializes before a queue can ever form.
+	// Zero (production) adds nothing.
+	PlanDelay time.Duration
+	// RetryAfterSeconds is the Retry-After hint on 429 responses
+	// (default 1).
+	RetryAfterSeconds int
+
+	// Metrics receives every serve metric and backs GET /metrics
+	// (default: a fresh registry).
+	Metrics *obs.Registry
+	// Clock times requests and planner runs for the latency
+	// histograms; tests inject a fake (default obs.Wall). It never
+	// influences what a request returns.
+	Clock obs.Clock
+	// Trace, when set, records one serve.request span per request with
+	// a serve.plan child per planner run.
+	Trace *obs.Tracer
+	// Flight, when set, receives serve.cache.hit/miss/evict,
+	// serve.coalesce, and serve.shed events — the stream tsplit-doctor
+	// reads out of a dump.
+	Flight *obs.Flight
+
+	// testHookPlanStart, when set (tests only), runs at the start of
+	// every planner run, before any planning work, with the plan key.
+	// Tests use it to hold planner slots open deterministically.
+	testHookPlanStart func(key string)
+}
+
+// Server is the planning service: an http.Handler exposing
+// POST /v1/plan, GET /healthz, and GET /metrics, with a
+// content-addressed plan cache, request coalescing, and admission
+// control in front of the planner.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	clock obs.Clock
+	mux   *http.ServeMux
+
+	cache     *planCache
+	workloads *workloadCache
+	group     *flightGroup
+
+	sem chan struct{} // planner slots; len(sem) == running planner runs
+
+	mu        sync.Mutex
+	waiting   int  // lint:guardedby mu — requests queued for a planner slot
+	inflightN int  // lint:guardedby mu — requests currently being handled
+	draining  bool // lint:guardedby mu — Drain() called; new requests answer 503
+
+	inflight sync.WaitGroup
+}
+
+// New builds a Server from cfg, applying defaults to zero fields.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = obs.Wall
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		clock:     cfg.Clock,
+		cache:     newPlanCache(cfg.CacheEntries, cfg.Metrics, cfg.Flight),
+		workloads: newWorkloadCache(cfg.WorkloadEntries),
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.group = newFlightGroup(func(key string) {
+		s.reg.Add("tsplit_serve_coalesced_total", 1)
+		s.cfg.Flight.Record("serve.coalesce", "joined in-flight planner run", obs.L("key", key))
+	})
+	s.reg.SetHelp("tsplit_serve_requests_total", "Requests by final HTTP status code.")
+	s.reg.SetHelp("tsplit_serve_cache_hits_total", "Plan requests served from the content-addressed cache.")
+	s.reg.SetHelp("tsplit_serve_cache_misses_total", "Plan requests that required a planner run or a coalesced wait.")
+	s.reg.SetHelp("tsplit_serve_cache_evictions_total", "Plans evicted from the cache (LRU).")
+	s.reg.SetHelp("tsplit_serve_coalesced_total", "Requests that joined another request's in-flight planner run.")
+	s.reg.SetHelp("tsplit_serve_planner_runs_total", "Actual planner executions (distinct keys planned).")
+	s.reg.SetHelp("tsplit_serve_shed_total", "Requests shed with 429 because the admission queue was full.")
+	s.reg.SetHelp("tsplit_serve_inflight", "Requests currently being handled.")
+	s.reg.SetHelp("tsplit_serve_request_seconds", "End-to-end request latency.")
+	s.reg.SetHelp("tsplit_serve_plan_seconds", "Planner-run latency (cache misses only).")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Metrics returns the server's registry (the same one GET /metrics
+// exposes).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting new requests (they answer 503) and blocks
+// until every in-flight request has completed — the graceful-shutdown
+// half that http.Server.Shutdown cannot see when the handler runs
+// behind a test harness or another mux.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// begin registers one in-flight request unless the server is
+// draining. The Add happens under the same lock that Drain uses to
+// flip the flag, so Drain's Wait covers every admitted request.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	s.inflight.Add(1)
+	s.inflightN++
+	n := s.inflightN
+	s.mu.Unlock()
+	s.reg.Set("tsplit_serve_inflight", float64(n))
+	return true
+}
+
+// end balances begin.
+func (s *Server) end() {
+	s.mu.Lock()
+	s.inflightN--
+	n := s.inflightN
+	s.mu.Unlock()
+	s.reg.Set("tsplit_serve_inflight", float64(n))
+	s.inflight.Done()
+}
+
+// admission verdicts.
+type verdict int
+
+const (
+	admitted verdict = iota
+	shed             // queue full: 429
+	expired          // context done while queued: 503
+)
+
+// admit acquires a planner slot, queueing up to MaxQueue requests
+// when all slots are busy. It returns a release function exactly when
+// the verdict is admitted.
+func (s *Server) admit(ctx context.Context) (release func(), v verdict) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, admitted
+	default:
+	}
+	s.mu.Lock()
+	if s.waiting >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, shed
+	}
+	s.waiting++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, admitted
+	case <-ctx.Done():
+		return nil, expired
+	}
+}
+
+// handlePlan is POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := s.clock()
+	if !s.begin() {
+		s.finish(w, start, nil, &httpError{status: http.StatusServiceUnavailable,
+			code: "draining", message: "server is draining"})
+		return
+	}
+	defer s.end()
+
+	sp := s.cfg.Trace.StartSpan("serve.request")
+	defer sp.End()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.finish(w, start, sp, &httpError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "use POST"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.finish(w, start, sp, errBadRequest("reading body: %v", err))
+		return
+	}
+	req, herr := decodeRequest(body)
+	if herr != nil {
+		s.finish(w, start, sp, herr)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	wl, herr := s.workloads.get(req)
+	if herr != nil {
+		s.finish(w, start, sp, herr)
+		return
+	}
+	key := planKey(wl.digest, wl.dev, req.Options)
+	sp.SetAttr("key", key)
+
+	// Fast path: content-addressed cache hit — no admission needed,
+	// the stored bytes answer the request.
+	if cached, ok := s.cache.get(key); ok {
+		s.reg.Add("tsplit_serve_cache_hits_total", 1)
+		s.cfg.Flight.Record("serve.cache.hit", "served cached plan", obs.L("key", key))
+		sp.SetAttr("cache", "hit")
+		s.writePlan(w, start, cached, "hit", key)
+		return
+	}
+	s.reg.Add("tsplit_serve_cache_misses_total", 1)
+	s.cfg.Flight.Record("serve.cache.miss", "no cached plan", obs.L("key", key))
+
+	res, coalesced, waitErr := s.group.do(ctx, key, func() planResult {
+		return s.runPlanner(ctx, sp, req, wl, key)
+	})
+	if coalesced {
+		sp.SetAttr("cache", "coalesced")
+	} else {
+		sp.SetAttr("cache", "miss")
+	}
+	if waitErr != nil {
+		s.finish(w, start, sp, &httpError{status: http.StatusServiceUnavailable,
+			code: "timeout", message: "request expired waiting for the planner"})
+		return
+	}
+	if res.herr != nil {
+		s.finish(w, start, sp, res.herr)
+		return
+	}
+	state := "miss"
+	if coalesced {
+		state = "coalesced"
+	}
+	s.writePlan(w, start, res.body, state, key)
+}
+
+// runPlanner is the singleflight leader body: acquire a planner slot
+// (admission control), plan, serialize, and cache.
+func (s *Server) runPlanner(ctx context.Context, parent *obs.Span, req *PlanRequest, wl *prepared, key string) planResult {
+	release, v := s.admit(ctx)
+	switch v {
+	case shed:
+		s.reg.Add("tsplit_serve_shed_total", 1)
+		s.cfg.Flight.Record("serve.shed", "admission queue full", obs.L("key", key))
+		return planResult{herr: &httpError{status: http.StatusTooManyRequests,
+			code: "overloaded", message: fmt.Sprintf("admission queue full (%d running, %d queued)",
+				s.cfg.MaxConcurrent, s.cfg.MaxQueue)}}
+	case expired:
+		return planResult{herr: &httpError{status: http.StatusServiceUnavailable,
+			code: "timeout", message: "request expired in the admission queue"}}
+	}
+	defer release()
+	if hook := s.cfg.testHookPlanStart; hook != nil {
+		hook(key)
+	}
+
+	// Double-check the cache: a previous leader may have finished
+	// between our miss and this run.
+	if cached, ok := s.cache.get(key); ok {
+		return planResult{body: cached}
+	}
+	if s.cfg.PlanDelay > 0 {
+		time.Sleep(s.cfg.PlanDelay)
+	}
+
+	sp := parent.StartSpan("serve.plan")
+	defer sp.End()
+	planStart := s.clock()
+	resp, herr := s.buildResponse(req, wl, key)
+	s.reg.Observe("tsplit_serve_plan_seconds", s.clock().Sub(planStart).Seconds())
+	s.reg.Add("tsplit_serve_planner_runs_total", 1)
+	if herr != nil {
+		return planResult{herr: herr}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return planResult{herr: &httpError{status: http.StatusInternalServerError,
+			code: "internal", message: fmt.Sprintf("encoding response: %v", err)}}
+	}
+	s.cache.put(key, body, resp.PredictedPeakBytes)
+	entries, bodyBytes := s.cache.stats()
+	s.reg.Set("tsplit_serve_cache_entries", float64(entries))
+	s.reg.Set("tsplit_serve_cache_bytes", float64(bodyBytes))
+	return planResult{body: body}
+}
+
+// buildResponse runs the requested policy and assembles the response
+// value that will be cached and served.
+func (s *Server) buildResponse(req *PlanRequest, wl *prepared, key string) (*PlanResponse, *httpError) {
+	var plan *core.Plan
+	var report *core.PlanReport
+	var err error
+	switch req.Options.Policy {
+	case "tsplit", "tsplit-nosplit":
+		opts := core.Options{
+			Capacity:      req.Options.CapacityBytes,
+			DisableSplit:  req.Options.DisableSplit || req.Options.Policy == "tsplit-nosplit",
+			PNums:         req.Options.PNums,
+			SafetyMargin:  req.Options.SafetyMargin,
+			CollectReport: req.Options.Report,
+			Clock:         s.clock,
+		}
+		pl := wl.pool.Get(opts)
+		plan, err = pl.Plan()
+		if err == nil && req.Options.Report {
+			report = pl.Report()
+		}
+		wl.pool.Put(pl)
+	default:
+		plan, err = baselines.Registry[req.Options.Policy](baselines.Inputs{
+			G: wl.g, Sched: wl.sched, Lv: wl.lv, Prof: wl.prof, Dev: wl.dev,
+		})
+	}
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity,
+			code: "infeasible", message: err.Error()}
+	}
+	var planJSON bytes.Buffer
+	if err := core.ExportJSON(&planJSON, plan); err != nil {
+		return nil, &httpError{status: http.StatusInternalServerError,
+			code: "internal", message: fmt.Sprintf("exporting plan: %v", err)}
+	}
+	return &PlanResponse{
+		Key:                  key,
+		Model:                req.displayName(),
+		Device:               wl.dev.Name,
+		Policy:               req.Options.Policy,
+		PredictedPeakBytes:   plan.PredictedPeak,
+		PredictedPeakGiB:     float64(plan.PredictedPeak) / (1 << 30),
+		PredictedTimeSeconds: plan.PredictedTime,
+		Plan:                 json.RawMessage(bytes.TrimSpace(planJSON.Bytes())),
+		Report:               report,
+	}, nil
+}
+
+// writePlan sends a success body with its cache-state headers and
+// records the request metrics.
+func (s *Server) writePlan(w http.ResponseWriter, start time.Time, body []byte, cacheState, key string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tsplit-Cache", cacheState)
+	w.Header().Set("X-Tsplit-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body) // client gone: nothing useful to do
+	s.observe(start, http.StatusOK)
+}
+
+// finish sends a structured error response and records the request
+// metrics. sp may be nil (pre-span failures).
+func (s *Server) finish(w http.ResponseWriter, start time.Time, sp *obs.Span, herr *httpError) {
+	if sp != nil {
+		sp.SetAttr("error", herr.code)
+	}
+	if herr.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(herr.status)
+	body, err := json.Marshal(ErrorBody{Error: ErrorDetail{Code: herr.code, Message: herr.message}})
+	if err == nil {
+		_, _ = w.Write(body) // client gone: nothing useful to do
+	}
+	s.observe(start, herr.status)
+}
+
+// observe records the per-request metrics.
+func (s *Server) observe(start time.Time, status int) {
+	s.reg.Add("tsplit_serve_requests_total", 1, obs.L("code", strconv.Itoa(status)))
+	s.reg.Observe("tsplit_serve_request_seconds", s.clock().Sub(start).Seconds())
+}
+
+// handleHealthz is GET /healthz: a liveness probe with cache
+// occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	entries, bodyBytes := s.cache.stats()
+	s.mu.Lock()
+	draining := s.draining
+	waiting := s.waiting
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, err := json.Marshal(map[string]any{
+		"status":           status,
+		"plans_cached":     entries,
+		"plan_cache_bytes": bodyBytes,
+		"workloads_cached": s.workloads.len(),
+		"queued":           waiting,
+	})
+	if err == nil {
+		_, _ = w.Write(body) // client gone: nothing useful to do
+	}
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of
+// the server's registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(buf.Bytes()) // client gone: nothing useful to do
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsplit/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden response files")
+
+// postPlan sends one plan request and returns the recorder.
+func postPlan(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeResponse(t *testing.T, w *httptest.ResponseRecorder) *PlanResponse {
+	t.Helper()
+	var resp PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not a PlanResponse: %v\nbody: %s", err, w.Body.String())
+	}
+	return &resp
+}
+
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) *ErrorBody {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("response is not an ErrorBody: %v\nbody: %s", err, w.Body.String())
+	}
+	return &eb
+}
+
+// TestGoldenResponses pins the exact response bytes for the two
+// evaluation workloads the ISSUE names. The planner is deterministic,
+// so the full body — plan, predicted peak, key — must be stable
+// byte-for-byte; regenerate with `go test ./internal/serve -run
+// TestGoldenResponses -update` after an intentional planner change.
+func TestGoldenResponses(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name string
+		req  string
+	}{
+		// vgg16 batch 96 does not fit a GTX 1080Ti unmanaged: the plan
+		// carries real split/swap/recompute decisions.
+		{"vgg16", `{"model":"vgg16","config":{"batch_size":96},"device":"GTX 1080Ti"}`},
+		// bert-large batch 64 against a 12 GiB budget on the TITAN RTX
+		// (roughly the paper's Fig. 1 pressure point).
+		{"bert-large", `{"model":"bert-large","config":{"batch_size":64},"device":"TITAN RTX","options":{"capacity_bytes":12884901888}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postPlan(t, s, tc.req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d, want 200; body: %s", w.Code, w.Body.String())
+			}
+			if got := w.Header().Get("X-Tsplit-Cache"); got != "miss" {
+				t.Fatalf("X-Tsplit-Cache = %q, want miss", got)
+			}
+			var indented bytes.Buffer
+			if err := json.Indent(&indented, w.Body.Bytes(), "", "  "); err != nil {
+				t.Fatalf("indent: %v", err)
+			}
+			indented.WriteByte('\n')
+			golden := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, indented.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(indented.Bytes(), want) {
+				t.Fatalf("response diverges from %s (rerun with -update after an intentional planner change)\ngot:  %.400s...\nwant: %.400s...",
+					golden, indented.String(), string(want))
+			}
+			resp := decodeResponse(t, w)
+			if resp.PredictedPeakBytes <= 0 {
+				t.Fatalf("predicted peak %d, want > 0", resp.PredictedPeakBytes)
+			}
+			if resp.Policy != "tsplit" {
+				t.Fatalf("policy %q, want tsplit", resp.Policy)
+			}
+		})
+	}
+}
+
+// TestCacheHitIsByteIdentical sends the same request twice and a
+// semantically identical variant once: the repeat and the variant must
+// both hit and return exactly the bytes the miss produced.
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	s := New(Config{})
+	req := `{"model":"vgg16","config":{"batch_size":64},"device":"TITAN RTX","options":{"capacity_bytes":6442450944}}`
+	first := postPlan(t, s, req)
+	if first.Code != http.StatusOK {
+		t.Fatalf("miss status %d: %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Tsplit-Cache"); got != "miss" {
+		t.Fatalf("first request X-Tsplit-Cache = %q, want miss", got)
+	}
+	second := postPlan(t, s, req)
+	if second.Code != http.StatusOK {
+		t.Fatalf("hit status %d: %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-Tsplit-Cache"); got != "hit" {
+		t.Fatalf("second request X-Tsplit-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cache hit bytes differ from the miss that created the entry")
+	}
+	// Different spelling, same content: field order and explicit
+	// defaults must not change the key.
+	variant := `{"device":"TITAN RTX","options":{"policy":"tsplit","capacity_bytes":6442450944},"config":{"batch_size":64,"param_scale":0},"model":"vgg16"}`
+	third := postPlan(t, s, variant)
+	if got := third.Header().Get("X-Tsplit-Cache"); got != "hit" {
+		t.Fatalf("variant spelling X-Tsplit-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Fatal("variant-spelling hit bytes differ")
+	}
+	if hits := s.Metrics().Counter("tsplit_serve_cache_hits_total"); hits != 2 {
+		t.Fatalf("cache hits counter = %d, want 2", hits)
+	}
+	if runs := s.Metrics().Counter("tsplit_serve_planner_runs_total"); runs != 1 {
+		t.Fatalf("planner runs = %d, want 1", runs)
+	}
+}
+
+// TestSpecGraphPlans exercises the inline graph-spec path.
+func TestSpecGraphPlans(t *testing.T) {
+	s := New(Config{})
+	w := postPlan(t, s, `{"spec":{"seed":42},"device":"P100"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeResponse(t, w)
+	if resp.Model != "spec(seed=42)" {
+		t.Fatalf("model %q", resp.Model)
+	}
+	again := postPlan(t, s, `{"spec":{"seed":42},"device":"P100"}`)
+	if got := again.Header().Get("X-Tsplit-Cache"); got != "hit" {
+		t.Fatalf("repeat spec request X-Tsplit-Cache = %q, want hit", got)
+	}
+}
+
+// TestBaselinePolicy plans through a baseline producer.
+func TestBaselinePolicy(t *testing.T) {
+	s := New(Config{})
+	w := postPlan(t, s, `{"model":"vgg16","config":{"batch_size":32},"options":{"policy":"vdnn-conv"}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeResponse(t, w)
+	if resp.Policy != "vdnn-conv" {
+		t.Fatalf("policy %q, want vdnn-conv", resp.Policy)
+	}
+}
+
+// TestReportRequested asks for the per-request plan report and checks
+// that it is present, and that report/no-report are distinct cache
+// keys.
+func TestReportRequested(t *testing.T) {
+	s := New(Config{})
+	base := `{"model":"vgg16","config":{"batch_size":96},"device":"GTX 1080Ti"`
+	plain := postPlan(t, s, base+`}`)
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain status %d", plain.Code)
+	}
+	if decodeResponse(t, plain).Report != nil {
+		t.Fatal("unrequested report present")
+	}
+	with := postPlan(t, s, base+`,"options":{"report":true}}`)
+	if with.Code != http.StatusOK {
+		t.Fatalf("report status %d: %s", with.Code, with.Body.String())
+	}
+	if got := with.Header().Get("X-Tsplit-Cache"); got != "miss" {
+		t.Fatalf("report request X-Tsplit-Cache = %q, want miss (distinct key)", got)
+	}
+	resp := decodeResponse(t, with)
+	if resp.Report == nil || len(resp.Report.Decisions) == 0 {
+		t.Fatalf("report missing or empty: %+v", resp.Report)
+	}
+}
+
+// TestErrorResponses covers the structured 4xx surface.
+func TestErrorResponses(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed JSON", `{"model":`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"model":"vgg16","oops":1}`, http.StatusBadRequest, "bad_request"},
+		{"no model or spec", `{}`, http.StatusBadRequest, "bad_request"},
+		{"both model and spec", `{"model":"vgg16","spec":{"seed":1}}`, http.StatusBadRequest, "bad_request"},
+		{"unknown model", `{"model":"alexnet"}`, http.StatusNotFound, "unknown_model"},
+		{"unknown policy", `{"model":"vgg16","options":{"policy":"magic"}}`, http.StatusNotFound, "unknown_policy"},
+		{"unknown device", `{"model":"vgg16","device":"TPU"}`, http.StatusBadRequest, "bad_request"},
+		{"batch too large", `{"model":"vgg16","config":{"batch_size":4096}}`, http.StatusBadRequest, "bad_request"},
+		{"negative capacity", `{"model":"vgg16","options":{"capacity_bytes":-1}}`, http.StatusBadRequest, "bad_request"},
+		{"margin too large", `{"model":"vgg16","options":{"safety_margin":0.95}}`, http.StatusBadRequest, "bad_request"},
+		{"pnum too small", `{"model":"vgg16","options":{"pnums":[1]}}`, http.StatusBadRequest, "bad_request"},
+		{"spec with config", `{"spec":{"seed":1},"config":{"batch_size":8}}`, http.StatusBadRequest, "bad_request"},
+		{"baseline with planner knobs", `{"model":"vgg16","options":{"policy":"vdnn-all","disable_split":true}}`, http.StatusBadRequest, "bad_request"},
+		{"infeasible", `{"model":"bert-large","config":{"batch_size":512},"device":"P100","options":{"capacity_bytes":1048576}}`, http.StatusUnprocessableEntity, "infeasible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postPlan(t, s, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body: %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			eb := decodeError(t, w)
+			if eb.Error.Code != tc.wantCode {
+				t.Fatalf("error code %q, want %q (message: %s)", eb.Error.Code, tc.wantCode, eb.Error.Message)
+			}
+			if eb.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowed rejects non-POST plan calls.
+func TestMethodNotAllowed(t *testing.T) {
+	s := New(Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/plan", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", w.Code)
+	}
+	if got := w.Header().Get("Allow"); got != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", got)
+	}
+}
+
+// TestHealthz round-trips the liveness probe.
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	postPlan(t, s, `{"model":"vgg16","config":{"batch_size":32}}`)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var h map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("status %v", h["status"])
+	}
+	if h["plans_cached"].(float64) != 1 || h["workloads_cached"].(float64) != 1 {
+		t.Fatalf("cache occupancy wrong: %v", h)
+	}
+}
+
+// TestMetricsRoundTripThroughDoctor scrapes GET /metrics and feeds the
+// text straight into tsplit-doctor's Prometheus parser: every serve
+// counter and histogram must survive the round trip.
+func TestMetricsRoundTripThroughDoctor(t *testing.T) {
+	s := New(Config{})
+	req := `{"model":"vgg16","config":{"batch_size":64},"options":{"capacity_bytes":6442450944}}`
+	postPlan(t, s, req)
+	postPlan(t, s, req)
+	postPlan(t, s, `{"model":"nope"}`)
+
+	r := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	metrics, err := obs.ParsePrometheus(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("doctor's parser rejected /metrics output: %v", err)
+	}
+	byKey := map[string]obs.Metric{}
+	for _, m := range metrics {
+		key := m.Name
+		for _, l := range m.Labels {
+			key += "|" + l.Key + "=" + l.Value
+		}
+		byKey[key] = m
+	}
+	checks := map[string]int64{
+		"tsplit_serve_requests_total|code=200": 2,
+		"tsplit_serve_requests_total|code=404": 1,
+		"tsplit_serve_cache_hits_total":        1,
+		"tsplit_serve_cache_misses_total":      1,
+		"tsplit_serve_planner_runs_total":      1,
+	}
+	for key, want := range checks {
+		m, ok := byKey[key]
+		if !ok {
+			t.Fatalf("metric %s missing after round trip (have %d metrics)", key, len(metrics))
+		}
+		if m.Int != want {
+			t.Fatalf("metric %s = %d, want %d", key, m.Int, want)
+		}
+	}
+	lat, ok := byKey["tsplit_serve_request_seconds"]
+	if !ok || lat.Histogram == nil {
+		t.Fatal("request-latency histogram missing after round trip")
+	}
+	if lat.Histogram.Count != 3 {
+		t.Fatalf("latency histogram count %d, want 3", lat.Histogram.Count)
+	}
+}
+
+// TestDoctorDiagnosesServerDump builds a postmortem dump from the
+// server's flight ring, registry, and tracer, and checks the doctor
+// surfaces the serve phases and cache events.
+func TestDoctorDiagnosesServerDump(t *testing.T) {
+	tr := obs.NewTracer(nil)
+	fl := obs.NewFlight(0, nil)
+	reg := obs.NewRegistry()
+	s := New(Config{Metrics: reg, Trace: tr, Flight: fl})
+	req := `{"model":"vgg16","config":{"batch_size":64},"options":{"capacity_bytes":6442450944}}`
+	postPlan(t, s, req)
+	postPlan(t, s, req)
+
+	dump := &obs.Dump{Reason: "serve test", Events: fl.Events(), Metrics: reg.Snapshot(), Spans: tr.Tree()}
+	diag := obs.Diagnose(dump, nil)
+	phases := map[string]int{}
+	for _, ph := range diag.Phases {
+		phases[ph.Name] = ph.Count
+	}
+	if phases["serve.request"] != 2 {
+		t.Fatalf("serve.request phase count %d, want 2 (phases: %v)", phases["serve.request"], phases)
+	}
+	if phases["serve.plan"] != 1 {
+		t.Fatalf("serve.plan phase count %d, want 1", phases["serve.plan"])
+	}
+	events := map[string]int{}
+	for _, ec := range diag.EventCounts {
+		events[ec.Kind] = ec.Count
+	}
+	if events["serve.cache.miss"] != 1 || events["serve.cache.hit"] != 1 {
+		t.Fatalf("cache events wrong: %v", events)
+	}
+}

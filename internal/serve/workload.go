@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"net/http"
+	"sync"
+
+	"tsplit/internal/core"
+	"tsplit/internal/device"
+	"tsplit/internal/graph"
+	"tsplit/internal/models"
+	"tsplit/internal/profiler"
+	"tsplit/internal/workload"
+)
+
+// prepared is one resolved workload: the built graph with its
+// schedule, liveness, and device profile, a planner pool recycling
+// arenas across requests, and the graph's content digest (computed
+// once — it feeds every plan key for this workload).
+type prepared struct {
+	name   string
+	g      *graph.Graph
+	sched  *graph.Schedule
+	lv     *graph.Liveness
+	prof   *profiler.Profile
+	dev    device.Device
+	pool   *core.PlannerPool
+	digest [sha256.Size]byte
+}
+
+// workloadCache memoizes request → prepared workload resolution with
+// a bounded LRU. Building a workload (graph construction, scheduling,
+// liveness, profiling) costs orders of magnitude more than a cache
+// probe, and the digest it yields is what makes plan-cache hits cheap:
+// a warm probe never re-hashes the graph.
+//
+// Builds happen while holding mu. That serializes concurrent misses on
+// *different* workloads, which is deliberate: it keeps each workload
+// built exactly once without per-entry latches, and the build is
+// milliseconds against a planning request's budget.
+type workloadCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*wlEntry // lint:guardedby mu
+	head    *wlEntry            // lint:guardedby mu — most recently used
+	tail    *wlEntry            // lint:guardedby mu — least recently used, evicted first
+}
+
+type wlEntry struct {
+	id         string
+	w          *prepared
+	prev, next *wlEntry
+}
+
+func newWorkloadCache(capacity int) *workloadCache {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &workloadCache{cap: capacity, entries: make(map[string]*wlEntry)}
+}
+
+// get resolves a validated request to its prepared workload, building
+// and caching it on first use.
+func (wc *workloadCache) get(req *PlanRequest) (*prepared, *httpError) {
+	id := req.workloadID()
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if e, ok := wc.entries[id]; ok {
+		wc.moveToFront(e)
+		return e.w, nil
+	}
+	w, herr := buildWorkload(req)
+	if herr != nil {
+		return nil, herr
+	}
+	e := &wlEntry{id: id, w: w}
+	wc.entries[id] = e
+	wc.pushFront(e)
+	if len(wc.entries) > wc.cap {
+		lru := wc.tail
+		wc.unlink(lru)
+		delete(wc.entries, lru.id)
+	}
+	return w, nil
+}
+
+// len reports the resident workload count (for /healthz).
+func (wc *workloadCache) len() int {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return len(wc.entries)
+}
+
+// moveToFront marks e most recently used. Callers hold wc.mu.
+func (wc *workloadCache) moveToFront(e *wlEntry) {
+	if wc.head == e {
+		return
+	}
+	wc.unlink(e)
+	wc.pushFront(e)
+}
+
+// pushFront links e as the head. Callers hold wc.mu.
+func (wc *workloadCache) pushFront(e *wlEntry) {
+	e.prev = nil
+	e.next = wc.head
+	if wc.head != nil {
+		wc.head.prev = e
+	}
+	wc.head = e
+	if wc.tail == nil {
+		wc.tail = e
+	}
+}
+
+// unlink removes e from the list. Callers hold wc.mu.
+func (wc *workloadCache) unlink(e *wlEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		wc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		wc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// buildWorkload constructs the graph a validated request names and
+// prepares it for planning.
+func buildWorkload(req *PlanRequest) (*prepared, *httpError) {
+	dev, err := device.ByName(req.Device)
+	if err != nil {
+		return nil, errBadRequest("unknown device %q", req.Device)
+	}
+	var g *graph.Graph
+	if req.Spec != nil {
+		g = workload.RandGraph(req.Spec.Seed)
+	} else {
+		cfg := models.Config{
+			BatchSize:  req.Config.BatchSize,
+			ParamScale: req.Config.ParamScale,
+			ImageSize:  req.Config.ImageSize,
+			SeqLen:     req.Config.SeqLen,
+		}
+		g, err = models.Build(req.Model, cfg)
+		if err != nil {
+			return nil, &httpError{status: http.StatusNotFound, code: "unknown_model", message: err.Error()}
+		}
+	}
+	sched, err := graph.BuildSchedule(g)
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, code: "unschedulable", message: err.Error()}
+	}
+	lv := graph.AnalyzeLiveness(g, sched)
+	prof := profiler.New(dev, sched)
+	return &prepared{
+		name:   req.displayName(),
+		g:      g,
+		sched:  sched,
+		lv:     lv,
+		prof:   prof,
+		dev:    dev,
+		pool:   core.NewPlannerPool(g, sched, lv, prof, dev),
+		digest: graphDigest(g),
+	}, nil
+}

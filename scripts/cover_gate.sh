@@ -1,16 +1,17 @@
 #!/bin/sh
 # Coverage gate for the planner core, the runtime simulator, the
-# observability layer, and the static-analysis engine — the packages
-# whose correctness the differential, fault-injection, postmortem, and
-# lint-dogfood layers lean on. Fails when any package's statement
-# coverage drops below the floor.
+# observability layer, the static-analysis engine, and the planning
+# service — the packages whose correctness the differential,
+# fault-injection, postmortem, lint-dogfood, and serving layers lean
+# on. Fails when any package's statement coverage drops below the
+# floor.
 set -eu
 
 GO=${GO:-go}
 FLOOR=80.0
 
 fail=0
-for pkg in ./internal/core ./internal/sim ./internal/obs ./internal/lint; do
+for pkg in ./internal/core ./internal/sim ./internal/obs ./internal/lint ./internal/serve; do
 	profile=$(mktemp)
 	"$GO" test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
 	total=$("$GO" tool cover -func="$profile" | awk 'END {gsub(/%/, "", $NF); print $NF}')

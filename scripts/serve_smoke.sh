@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end smoke test of the planning service: run tsplit-serve's
+# self-test against a real listener (plan miss -> byte-identical hit,
+# 404 on an unknown model, /healthz, /metrics), then check that the
+# artifacts it leaves behind are consumable — the metrics file by a
+# Prometheus-text grep, the postmortem dump by tsplit-doctor, whose
+# -require-phases flag gates on the serve.request/serve.plan spans.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+"$GO" run ./cmd/tsplit-serve -smoke \
+	-metrics-out "$dir/metrics.prom" -dump-out "$dir/dump.json" >/dev/null
+
+for series in tsplit_serve_requests_total tsplit_serve_cache_hits_total \
+	tsplit_serve_cache_misses_total tsplit_serve_planner_runs_total \
+	tsplit_serve_plan_seconds; do
+	if ! grep -q "^$series" "$dir/metrics.prom"; then
+		echo "serve-smoke: $series missing from the metrics exposition" >&2
+		exit 1
+	fi
+done
+
+"$GO" run ./cmd/tsplit-doctor -dump "$dir/dump.json" -require-phases -json >"$dir/diag.json"
+
+for key in '"serve.request"' '"serve.plan"' '"serve.cache.hit"' '"serve.cache.miss"'; do
+	if ! grep -q "$key" "$dir/diag.json"; then
+		echo "serve-smoke: $key missing from tsplit-doctor -json output" >&2
+		exit 1
+	fi
+done
+echo "serve-smoke: plan -> cache -> dump -> tsplit-doctor round trip ok"

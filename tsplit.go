@@ -42,6 +42,7 @@ import (
 	"tsplit/internal/obs"
 	"tsplit/internal/profiler"
 	"tsplit/internal/resilient"
+	"tsplit/internal/serve"
 	"tsplit/internal/sim"
 )
 
@@ -100,10 +101,26 @@ type (
 	Dumper = obs.Dumper
 	// Diagnosis is tsplit-doctor's structured analysis of a Dump.
 	Diagnosis = obs.Diagnosis
+	// PlanServer is the planning service: an http.Handler exposing
+	// POST /v1/plan with a content-addressed plan cache, request
+	// coalescing, and admission control, plus /healthz and /metrics.
+	PlanServer = serve.Server
+	// PlanServerConfig tunes a PlanServer; the zero value is a usable
+	// production default.
+	PlanServerConfig = serve.Config
+	// PlanRequest is the POST /v1/plan body.
+	PlanRequest = serve.PlanRequest
+	// PlanResponse is the POST /v1/plan success body.
+	PlanResponse = serve.PlanResponse
 )
 
 // DefaultFaultSeverity is the documented default for fault injection.
 const DefaultFaultSeverity = faults.DefaultSeverity
+
+// NewPlanServer builds a planning server from cfg, applying defaults
+// to zero fields. Serve it with net/http: the returned value is the
+// handler for /v1/plan, /healthz, and /metrics.
+func NewPlanServer(cfg PlanServerConfig) *PlanServer { return serve.New(cfg) }
 
 // NewRegistry returns an empty metrics Registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
