@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt lint lint-audit build test race bench bench-guard verify-plans cover doctor-smoke serve-smoke ci
+.PHONY: all vet fmt lint lint-audit build test race bench bench-guard verify-plans cover doctor-smoke serve-smoke simlat-smoke ci
 
 all: ci
 
@@ -36,11 +36,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration per planner benchmark: a smoke check that the
-# benchmarks build and run, not a measurement (use -benchtime=5x or
-# more for numbers worth recording in bench_results.txt).
+# One iteration per planner/simulator benchmark: a smoke check that
+# the benchmarks build and run, not a measurement (use -benchtime=100x
+# for numbers worth recording in bench_results.txt).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPlannerPlan' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPlannerPlan|BenchmarkSimRun|BenchmarkPredictPeak' -benchtime 1x .
 
 # Fail if the Plan() hot path (nil Recorder) regresses more than 10%
 # allocs/op against the baseline recorded in bench_results.txt.
@@ -69,4 +69,10 @@ doctor-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet fmt lint lint-audit build race bench bench-guard verify-plans cover doctor-smoke serve-smoke
+# Simulation-latency smoke: the simlat experiment across the zoo at
+# quick rounds — exercises the pooled-arena and peak-only paths
+# end-to-end through the CLI.
+simlat-smoke:
+	$(GO) run ./cmd/tsplit-bench -exp simlat -quick >/dev/null
+
+ci: vet fmt lint lint-audit build race bench bench-guard verify-plans cover doctor-smoke serve-smoke simlat-smoke

@@ -13,6 +13,7 @@ import (
 	"tsplit/internal/device"
 	"tsplit/internal/experiments"
 	"tsplit/internal/models"
+	"tsplit/internal/sim"
 )
 
 // modelsConfig aliases the zoo config for the helpers below.
@@ -337,6 +338,79 @@ func BenchmarkPlannerReplanWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 		prev = plan
+	}
+}
+
+// --- simulator hot-path benchmarks (perf trajectory) ---
+
+// benchSimWorkload prepares a (workload, feasible tsplit plan) pair
+// for the simulator benchmarks, using the same runtime options the
+// experiment sweeps run with (LRU-hybrid recomputation).
+func benchSimWorkload(b *testing.B, model string, batch int) (*experiments.Prepared, *core.Plan, sim.Options) {
+	b.Helper()
+	p, err := experiments.Prepare(model, tsplitModelConfig(batch), device.TitanRTX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := experiments.RunPolicy(p, "tsplit", 0)
+	if !r.Feasible {
+		b.Fatalf("tsplit infeasible on %s b%d: %s", model, batch, r.Reason)
+	}
+	return p, r.Plan, sim.Options{Recompute: sim.LRURecompute}
+}
+
+// benchSimRun times a cold sim.New(...).Run(): every iteration
+// rebuilds the simulator state from scratch, which is what every sweep
+// cell, differential clamp, and serve cold path paid before SimPool.
+func benchSimRun(b *testing.B, model string, batch int) {
+	p, plan, opts := benchSimWorkload(b, model, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.New(p.G, p.Sched, p.Lv, plan, p.Dev, opts).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimRun_VGG16(b *testing.B)     { benchSimRun(b, "vgg16", 256) }
+func BenchmarkSimRun_ResNet50(b *testing.B)  { benchSimRun(b, "resnet50", 256) }
+func BenchmarkSimRun_BERTLarge(b *testing.B) { benchSimRun(b, "bert-large", 64) }
+
+// BenchmarkSimRunPooled_BERTLarge times the steady-state arena path:
+// one Simulator recycled through a SimPool, so the event heap, dense
+// per-tensor mirrors, allocator tables, and split scratch all carry
+// over between iterations. This is what sweep shards and the serve
+// layer's warm path pay per simulation.
+func BenchmarkSimRunPooled_BERTLarge(b *testing.B) {
+	p, plan, opts := benchSimWorkload(b, "bert-large", 64)
+	pool := sim.NewSimPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pool.Get(p.G, p.Sched, p.Lv, plan, p.Dev, opts)
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(s)
+	}
+}
+
+// BenchmarkPredictPeak_BERTLarge times the peak-only fast path on a
+// pooled arena: timing, stream contention, and timeline recording are
+// all skipped while the alloc/free event sequence stays identical, so
+// the reported peak is bit-for-bit the full Run() peak.
+func BenchmarkPredictPeak_BERTLarge(b *testing.B) {
+	p, plan, opts := benchSimWorkload(b, "bert-large", 64)
+	pool := sim.NewSimPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pool.Get(p.G, p.Sched, p.Lv, plan, p.Dev, opts)
+		if _, err := s.PredictPeak(); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(s)
 	}
 }
 

@@ -3,7 +3,8 @@
 // comma-separated subset of:
 //
 //	fig1 fig2a fig2b table2 fig5 table4 table5 fig12 fig13
-//	fig14a fig14b table6 table7 fig15 ablations faults planlat serve
+//	fig14a fig14b table6 table7 fig15 ablations faults planlat
+//	simlat serve
 //
 // -quick trims the scale-search bounds so a full run finishes in about
 // a minute; the defaults match the paper's ranges.
@@ -179,6 +180,17 @@ func main() {
 			return "", err
 		}
 		return experiments.RenderPlanLat(rows), nil
+	})
+	run("simlat", func() (string, error) {
+		rounds := 100
+		if *quick {
+			rounds = 20
+		}
+		rows, err := experiments.SimLatency(device.TitanRTX, rounds)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderSimLat(rows), nil
 	})
 	run("serve", func() (string, error) {
 		rep, err := experiments.ServeLoad(*quick)

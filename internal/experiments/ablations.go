@@ -52,7 +52,7 @@ func planWith(p *Prepared, name string, capacity int64, opts core.Options, simOp
 		return AblationRow{Name: name}
 	}
 	simOpts.Capacity = capacity
-	res, err := sim.New(p.G, p.Sched, p.Lv, plan, p.Dev, simOpts).Run()
+	res, err := Simulate(p, plan, simOpts)
 	if err != nil {
 		return AblationRow{Name: name}
 	}
@@ -100,7 +100,7 @@ func AblationRecomputeStrategy() (AblationReport, error) {
 	}
 	rows := make([]AblationRow, 0, 3)
 	for _, st := range []sim.RecomputeStrategy{sim.MemoryCentric, sim.SpeedCentric, sim.LRURecompute} {
-		res, err := sim.New(p.G, p.Sched, p.Lv, plan, p.Dev, sim.Options{Recompute: st}).Run()
+		res, err := Simulate(p, plan, sim.Options{Recompute: st})
 		if err != nil {
 			rows = append(rows, AblationRow{Name: st.String()})
 			continue
@@ -168,8 +168,7 @@ func AblationPoolStrategy() (AblationReport, error) {
 	}
 	rows := make([]AblationRow, 0, 2)
 	for _, st := range []memorypool.Strategy{memorypool.BestFit, memorypool.FirstFit} {
-		res, err := sim.New(p.G, p.Sched, p.Lv, plan, p.Dev,
-			sim.Options{Recompute: sim.LRURecompute, PoolStrategy: st}).Run()
+		res, err := Simulate(p, plan, sim.Options{Recompute: sim.LRURecompute, PoolStrategy: st})
 		if err != nil {
 			rows = append(rows, AblationRow{Name: st.String()})
 			continue

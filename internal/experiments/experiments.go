@@ -97,6 +97,24 @@ func planPolicyReserve(p *Prepared, policy string, capacity, reserve int64) (*co
 	}
 }
 
+// simPool recycles simulator arenas across every simulation this
+// package runs. The sweeps are sharded over forEach workers; each
+// worker borrows an arena per cell and returns it after, so a sweep
+// reaches steady state after one cell per worker and stops allocating
+// simulator state entirely. Results are byte-identical to fresh
+// simulators, so the ordered per-index fold is untouched.
+var simPool = sim.NewSimPool()
+
+// Simulate runs one simulation on a pooled arena and returns its
+// result. Exported so the bench harness and serve layer exercise the
+// same pooled path the sweeps use.
+func Simulate(p *Prepared, plan *core.Plan, opts sim.Options) (sim.Result, error) {
+	s := simPool.Get(p.G, p.Sched, p.Lv, plan, p.Dev, opts)
+	res, err := s.Run()
+	simPool.Put(s)
+	return res, err
+}
+
 // simOptions returns the runtime configuration a policy uses:
 // SuperNeurons and TSPLIT run the LRU-hybrid recomputation cache
 // (paper Sec. V-D: TSPLIT "adopts an LRU-based recomputation
@@ -146,7 +164,7 @@ func runPolicy(p *Prepared, policy string, capacity int64, timeline bool) Policy
 			continue
 		}
 		r.Plan = plan
-		res, err := sim.New(p.G, p.Sched, p.Lv, plan, p.Dev, simOptions(policy, capacity, timeline)).Run()
+		res, err := Simulate(p, plan, simOptions(policy, capacity, timeline))
 		if err != nil {
 			r.Reason = err.Error()
 			continue

@@ -4,12 +4,14 @@ import (
 	"go/ast"
 )
 
-// ScratchReuse is an advisory rule for the planner's steady-state
-// allocation budget: internal/core's per-iteration machinery is pooled
-// (arenas reset in place across Plan() calls — see DESIGN.md §7), so
-// an allocation inside a loop there is either a bug in the pooling or
-// a deliberate cold-path exception that deserves a visible
-// `//lint:allow scratchreuse <reason>`.
+// ScratchReuse is an advisory rule for the planner's and simulator's
+// steady-state allocation budgets: internal/core's per-iteration
+// machinery is pooled (arenas reset in place across Plan() calls —
+// see DESIGN.md §7), and internal/sim's event loop is arena-backed
+// the same way (SimPool recycling — see DESIGN.md's simulator
+// performance section), so an allocation inside a loop there is
+// either a bug in the pooling or a deliberate cold-path exception
+// that deserves a visible `//lint:allow scratchreuse <reason>`.
 //
 // Two shapes are flagged, both only inside a for/range statement:
 //
@@ -28,15 +30,19 @@ import (
 // and carry allows with the reason spelled out.
 var ScratchReuse = &Analyzer{
 	Name:     "scratchreuse",
-	Doc:      "allocation (make / growing append) inside a loop in pooled planner code",
-	Packages: []string{"tsplit/internal/core"},
+	Doc:      "allocation (make / growing append) inside a loop in pooled planner or simulator code",
+	Packages: []string{"tsplit/internal/core", "tsplit/internal/sim"},
 	Run:      runScratchReuse,
 }
 
-// scratchFiles are the internal/core files on the pooled hot path: a
-// Plan()/Replan() call spends its steady-state time here, so in-loop
-// allocations in these files erode the near-zero allocs/op budget.
+// scratchFiles are the internal/core and internal/sim files on the
+// pooled hot paths: a Plan()/Replan() call or a pooled simulation
+// spends its steady-state time here, so in-loop allocations in these
+// files erode the near-zero allocs/op budgets. (File names don't
+// collide across the two packages today; scope by package if they
+// ever do.)
 var scratchFiles = map[string]bool{
+	// internal/core — the planner's Plan()/Replan() hot path.
 	"planner.go":     true,
 	"candidates.go":  true,
 	"candindex.go":   true,
@@ -45,6 +51,13 @@ var scratchFiles = map[string]bool{
 	"finalize.go":    true,
 	"replan.go":      true,
 	"pool.go":        true,
+	// internal/sim — the simulator's per-op event loop.
+	"sim.go":       true,
+	"exec.go":      true,
+	"execsplit.go": true,
+	"postop.go":    true,
+	"walker.go":    true,
+	"simpool.go":   true,
 }
 
 func runScratchReuse(p *Pass) {

@@ -81,7 +81,7 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 	t.Run("overlapping used blocks", func(t *testing.T) {
 		p := New(1<<20, BestFit)
 		b, _ := p.Alloc(4096)
-		p.used[b.Offset+256] = 4096
+		p.used.put(b.Offset+256, 4096)
 		p.stats.InUse += 4096
 		mustFail(t, p, "overlaps")
 	})
@@ -102,7 +102,7 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 	t.Run("leaked bytes", func(t *testing.T) {
 		p := New(1<<20, BestFit)
 		b, _ := p.Alloc(4096)
-		delete(p.used, b.Offset)
+		p.used.del(b.Offset)
 		p.stats.InUse -= b.Size
 		mustFail(t, p, "neither used nor free")
 	})

@@ -70,8 +70,13 @@ type Pool struct {
 	capacity int64
 	strategy Strategy
 	free     []freeBlock // sorted by offset, coalesced
-	used     map[int64]int64
+	used     usedTable
 	stats    Stats
+
+	// scratch reused across Compact calls so the simulator's
+	// compaction path does not allocate fresh slices per event.
+	offScratch  []int64
+	sizeScratch []int64
 }
 
 // New creates a pool over an arena of the given capacity in bytes.
@@ -79,12 +84,13 @@ func New(capacity int64, strategy Strategy) *Pool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("memorypool: non-positive capacity %d", capacity))
 	}
-	return &Pool{
+	p := &Pool{
 		capacity: capacity,
 		strategy: strategy,
 		free:     []freeBlock{{0, capacity}},
-		used:     make(map[int64]int64),
 	}
+	p.used.init(0)
+	return p
 }
 
 func align(n int64) int64 {
@@ -158,7 +164,7 @@ func (p *Pool) Alloc(size int64) (Block, error) {
 		b = Block{Offset: fb.off, Size: size}
 		p.free[idx] = freeBlock{fb.off + size, fb.size - size}
 	}
-	p.used[b.Offset] = size
+	p.used.put(b.Offset, size)
 	p.stats.Allocs++
 	p.stats.InUse += size
 	if p.stats.InUse > p.stats.Peak {
@@ -171,11 +177,10 @@ func (p *Pool) Alloc(size int64) (Block, error) {
 // Freeing an offset that is not allocated panics: it is a scheduler
 // bug, not a runtime condition.
 func (p *Pool) FreeBlock(b Block) {
-	size, ok := p.used[b.Offset]
+	size, ok := p.used.del(b.Offset)
 	if !ok {
 		panic(fmt.Sprintf("memorypool: free of unallocated offset %d", b.Offset))
 	}
-	delete(p.used, b.Offset)
 	p.stats.Frees++
 	p.stats.InUse -= size
 
@@ -216,7 +221,7 @@ func (p *Pool) AllocAt(offset, size int64) (Block, error) {
 		if tail.size > 0 {
 			p.insertFree(tail)
 		}
-		p.used[offset] = size
+		p.used.put(offset, size)
 		p.stats.Allocs++
 		p.stats.InUse += size
 		if p.stats.InUse > p.stats.Peak {
@@ -241,7 +246,14 @@ func (p *Pool) insertFree(fb freeBlock) {
 // different pointer address"). Sub-block boundaries are aligned; the
 // last sub-block absorbs the remainder.
 func (p *Pool) SplitUsed(b Block, n int) ([]Block, error) {
-	size, ok := p.used[b.Offset]
+	return p.SplitUsedInto(b, n, nil)
+}
+
+// SplitUsedInto is SplitUsed appending into dst (typically a reused
+// buffer resliced to [:0]), so the simulator's split hot path does not
+// allocate a fresh slice per split op.
+func (p *Pool) SplitUsedInto(b Block, n int, dst []Block) ([]Block, error) {
+	size, ok := p.used.get(b.Offset)
 	if !ok {
 		return nil, fmt.Errorf("memorypool: SplitUsed of unallocated offset %d", b.Offset)
 	}
@@ -249,19 +261,18 @@ func (p *Pool) SplitUsed(b Block, n int) ([]Block, error) {
 		return nil, fmt.Errorf("memorypool: cannot split %d bytes into %d parts", size, n)
 	}
 	part := align(size / int64(n))
-	delete(p.used, b.Offset)
-	blocks := make([]Block, n)
+	p.used.del(b.Offset)
 	off := b.Offset
 	for i := 0; i < n; i++ {
 		sz := part
 		if i == n-1 {
 			sz = b.Offset + size - off
 		}
-		blocks[i] = Block{Offset: off, Size: sz}
-		p.used[off] = sz
+		dst = append(dst, Block{Offset: off, Size: sz})
+		p.used.put(off, sz)
 		off += sz
 	}
-	return blocks, nil
+	return dst, nil
 }
 
 // MergeUsed fuses allocated blocks into one when they are contiguous
@@ -279,17 +290,17 @@ func (p *Pool) MergeUsed(blocks []Block) (Block, bool) {
 	}
 	var total int64
 	for _, b := range blocks {
-		sz, ok := p.used[b.Offset]
+		sz, ok := p.used.get(b.Offset)
 		if !ok || sz != b.Size {
 			return Block{}, false
 		}
 		total += sz
 	}
 	for _, b := range blocks {
-		delete(p.used, b.Offset)
+		p.used.del(b.Offset)
 	}
 	merged := Block{Offset: blocks[0].Offset, Size: total}
-	p.used[merged.Offset] = total
+	p.used.put(merged.Offset, total)
 	return merged, true
 }
 
@@ -314,7 +325,7 @@ func (p *Pool) CheckInvariants() error {
 		off, size int64
 		used      bool
 	}
-	exts := make([]ext, 0, len(p.free)+len(p.used))
+	exts := make([]ext, 0, len(p.free)+p.used.len())
 	for i, fb := range p.free {
 		if fb.size <= 0 {
 			return fmt.Errorf("memorypool: free block %d at offset %d has non-positive size %d", i, fb.off, fb.size)
@@ -328,13 +339,10 @@ func (p *Pool) CheckInvariants() error {
 		exts = append(exts, ext{fb.off, fb.size, false})
 	}
 	var inUse int64
-	offs := make([]int64, 0, len(p.used))
-	for off := range p.used {
-		offs = append(offs, off)
-	}
+	offs := p.used.appendOffsets(make([]int64, 0, p.used.len()))
 	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
 	for _, off := range offs {
-		size := p.used[off]
+		size, _ := p.used.get(off)
 		if size <= 0 {
 			return fmt.Errorf("memorypool: used block at offset %d has non-positive size %d", off, size)
 		}
@@ -373,9 +381,25 @@ func (p *Pool) Stats() Stats {
 // Reset returns the pool to its initial empty state, keeping lifetime
 // counters (Allocs/Frees/Failures) intact.
 func (p *Pool) Reset() {
-	p.free = []freeBlock{{0, p.capacity}}
-	p.used = make(map[int64]int64)
+	p.free = append(p.free[:0], freeBlock{0, p.capacity})
+	p.used.reset()
 	p.stats.InUse = 0
+}
+
+// ResetTo reinitializes the pool in place to a (possibly different)
+// capacity and strategy with all statistics zeroed, as if freshly
+// constructed by New — but reusing the free list and used-table
+// storage. The pooled simulator calls this once per borrowed run, so a
+// recycled arena reports the same Peak/Allocs/Frees a fresh one would.
+func (p *Pool) ResetTo(capacity int64, strategy Strategy) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memorypool: non-positive capacity %d", capacity))
+	}
+	p.capacity = capacity
+	p.strategy = strategy
+	p.free = append(p.free[:0], freeBlock{0, capacity})
+	p.used.reset()
+	p.stats = Stats{}
 }
 
 // DumpLayout renders the arena occupancy for diagnostics: each used
@@ -386,7 +410,8 @@ func (p *Pool) DumpLayout(maxRows int) string {
 		used      bool
 	}
 	var exts []ext
-	for off, size := range p.used {
+	for _, off := range p.used.appendOffsets(nil) {
+		size, _ := p.used.get(off)
 		exts = append(exts, ext{off, size, true})
 	}
 	for _, fb := range p.free {
@@ -418,24 +443,27 @@ func (p *Pool) DumpLayout(maxRows int) string {
 // indirection); real pooled DL allocators perform the same
 // re-placement at synchronization points.
 func (p *Pool) Compact() (remap map[int64]int64, moved int64) {
-	offs := make([]int64, 0, len(p.used))
-	for off := range p.used {
-		offs = append(offs, off)
-	}
+	offs := p.used.appendOffsets(p.offScratch[:0])
 	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
-	remap = make(map[int64]int64, len(offs))
-	newUsed := make(map[int64]int64, len(offs))
-	var cursor int64
+	sizes := p.sizeScratch[:0]
 	for _, off := range offs {
-		size := p.used[off]
+		sz, _ := p.used.get(off)
+		sizes = append(sizes, sz)
+	}
+	remap = make(map[int64]int64, len(offs))
+	p.used.reset()
+	var cursor int64
+	for i, off := range offs {
+		size := sizes[i]
 		remap[off] = cursor
-		newUsed[cursor] = size
+		p.used.put(cursor, size)
 		if off != cursor {
 			moved += size
 		}
 		cursor += size
 	}
-	p.used = newUsed
+	p.offScratch = offs[:0]
+	p.sizeScratch = sizes[:0]
 	p.free = p.free[:0]
 	if cursor < p.capacity {
 		p.free = append(p.free, freeBlock{cursor, p.capacity - cursor})

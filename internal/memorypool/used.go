@@ -1,0 +1,167 @@
+package memorypool
+
+// usedTable maps block offset -> allocated size. It replaces the
+// map[int64]int64 the pool originally used: the simulator's event loop
+// allocates and frees on every scheduled op, and at a sub-millisecond
+// budget the runtime map's hashing and bucket chasing dominated the
+// profile. Open addressing with linear probing keeps each lookup to a
+// multiply and a couple of cache lines, and backward-shift deletion
+// (instead of tombstones) keeps probe chains short across the
+// alloc/free churn of a full training iteration.
+//
+// Keys are stored as offset+1 so the zero slot means "empty"; offsets
+// are always >= 0.
+type usedTable struct {
+	slots []usedSlot
+	n     int
+}
+
+type usedSlot struct {
+	key  int64 // offset+1; 0 = empty
+	size int64
+}
+
+const minUsedSlots = 256
+
+// home is the preferred slot for an offset. Offsets are 256-aligned,
+// so the low 8 bits carry no information; fibonacci hashing on the
+// shifted offset spreads the sequential allocation pattern.
+func usedHome(off int64, mask int) int {
+	h := uint64(off>>8) * 0x9E3779B97F4A7C15
+	return int(h>>32) & mask
+}
+
+// init sizes the table for capHint entries at the <=50% load factor
+// the table grows at; probe chains stay a couple of slots long even
+// under the simulator's worst-case live-block count.
+func (u *usedTable) init(capHint int) {
+	n := minUsedSlots
+	for n < capHint*2 {
+		n *= 2
+	}
+	if len(u.slots) == n {
+		u.reset()
+		return
+	}
+	u.slots = make([]usedSlot, n)
+	u.n = 0
+}
+
+// reset empties the table in place, keeping the slot array.
+func (u *usedTable) reset() {
+	if u.slots == nil {
+		u.slots = make([]usedSlot, minUsedSlots)
+	}
+	if u.n != 0 {
+		clear(u.slots)
+	}
+	u.n = 0
+}
+
+func (u *usedTable) len() int { return u.n }
+
+func (u *usedTable) grow() {
+	old := u.slots
+	u.slots = make([]usedSlot, len(old)*2)
+	u.n = 0
+	for _, s := range old {
+		if s.key != 0 {
+			u.put(s.key-1, s.size)
+		}
+	}
+}
+
+func (u *usedTable) put(off, size int64) {
+	if u.slots == nil {
+		u.slots = make([]usedSlot, minUsedSlots)
+	}
+	if (u.n+1)*2 > len(u.slots) {
+		u.grow()
+	}
+	mask := len(u.slots) - 1
+	i := usedHome(off, mask)
+	for {
+		s := &u.slots[i]
+		if s.key == 0 {
+			s.key, s.size = off+1, size
+			u.n++
+			return
+		}
+		if s.key == off+1 {
+			s.size = size
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (u *usedTable) get(off int64) (int64, bool) {
+	if u.n == 0 {
+		return 0, false
+	}
+	mask := len(u.slots) - 1
+	i := usedHome(off, mask)
+	for {
+		s := u.slots[i]
+		if s.key == 0 {
+			return 0, false
+		}
+		if s.key == off+1 {
+			return s.size, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// del removes an offset and returns its size. Backward-shift deletion:
+// every entry in the probe chain after the hole moves back unless its
+// home position lies cyclically within (hole, entry].
+func (u *usedTable) del(off int64) (int64, bool) {
+	if u.n == 0 {
+		return 0, false
+	}
+	mask := len(u.slots) - 1
+	i := usedHome(off, mask)
+	for {
+		s := u.slots[i]
+		if s.key == 0 {
+			return 0, false
+		}
+		if s.key == off+1 {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	size := u.slots[i].size
+	u.n--
+	j := i
+	for {
+		j = (j + 1) & mask
+		if u.slots[j].key == 0 {
+			break
+		}
+		h := usedHome(u.slots[j].key-1, mask)
+		if i <= j {
+			if i < h && h <= j {
+				continue
+			}
+		} else if h > i || h <= j {
+			continue
+		}
+		u.slots[i] = u.slots[j]
+		i = j
+	}
+	u.slots[i] = usedSlot{}
+	return size, true
+}
+
+// appendOffsets collects every allocated offset into dst. Order is
+// unspecified; callers that need determinism sort the result.
+func (u *usedTable) appendOffsets(dst []int64) []int64 {
+	for _, s := range u.slots {
+		if s.key != 0 {
+			dst = append(dst, s.key-1)
+		}
+	}
+	return dst
+}

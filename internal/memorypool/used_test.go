@@ -1,0 +1,128 @@
+package memorypool
+
+import "testing"
+
+// lcg is a tiny deterministic generator so the differential test never
+// depends on math/rand's sequence or a wall-clock seed.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 11
+}
+
+// TestUsedTableDifferential drives the open-addressing table and a
+// plain map through the same randomized put/get/del workload and
+// insists they agree at every step — in particular across backward-
+// shift deletions, growth, and re-insertion of deleted keys.
+func TestUsedTableDifferential(t *testing.T) {
+	var u usedTable
+	ref := map[int64]int64{}
+	keys := make([]int64, 0, 4096)
+	rng := lcg(42)
+
+	for step := 0; step < 200000; step++ {
+		op := rng.next() % 10
+		switch {
+		case op < 5 || len(keys) == 0: // put
+			off := int64(rng.next()%4096) * Alignment
+			size := int64(rng.next()%64+1) * Alignment
+			if _, dup := ref[off]; dup {
+				continue // pool never re-puts a live offset
+			}
+			u.put(off, size)
+			ref[off] = size
+			keys = append(keys, off)
+		case op < 8: // del
+			i := int(rng.next()) % len(keys)
+			off := keys[i]
+			got, ok := u.del(off)
+			want, wok := ref[off]
+			if ok != wok || got != want {
+				t.Fatalf("step %d: del(%d) = (%d,%v), want (%d,%v)", step, off, got, ok, want, wok)
+			}
+			delete(ref, off)
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+		default: // get (live or random)
+			off := int64(rng.next()%4096) * Alignment
+			got, ok := u.get(off)
+			want, wok := ref[off]
+			if ok != wok || got != want {
+				t.Fatalf("step %d: get(%d) = (%d,%v), want (%d,%v)", step, off, got, ok, want, wok)
+			}
+		}
+		if u.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, u.len(), len(ref))
+		}
+	}
+
+	// Drain everything and verify emptiness.
+	for _, off := range keys {
+		got, ok := u.del(off)
+		if !ok || got != ref[off] {
+			t.Fatalf("drain del(%d) = (%d,%v), want (%d,true)", off, got, ok, ref[off])
+		}
+	}
+	if u.len() != 0 {
+		t.Fatalf("drained table has len %d", u.len())
+	}
+	if _, ok := u.get(0); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	if _, ok := u.del(0); ok {
+		t.Fatal("empty table deleted a key")
+	}
+}
+
+func TestUsedTableOffsetsAndReset(t *testing.T) {
+	var u usedTable
+	for i := int64(0); i < 100; i++ {
+		u.put(i*Alignment, Alignment)
+	}
+	offs := u.appendOffsets(nil)
+	if len(offs) != 100 {
+		t.Fatalf("appendOffsets returned %d entries, want 100", len(offs))
+	}
+	seen := map[int64]bool{}
+	for _, off := range offs {
+		if seen[off] {
+			t.Fatalf("duplicate offset %d", off)
+		}
+		seen[off] = true
+		if off%Alignment != 0 || off < 0 || off >= 100*Alignment {
+			t.Fatalf("unexpected offset %d", off)
+		}
+	}
+	u.reset()
+	if u.len() != 0 || len(u.appendOffsets(nil)) != 0 {
+		t.Fatal("reset did not empty the table")
+	}
+	u.put(7*Alignment, 2*Alignment)
+	if sz, ok := u.get(7 * Alignment); !ok || sz != 2*Alignment {
+		t.Fatal("put after reset lost the entry")
+	}
+}
+
+func TestPoolResetTo(t *testing.T) {
+	p := New(1<<20, BestFit)
+	b, err := p.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FreeBlock(b)
+	if _, err := p.Alloc(1 << 21); err == nil {
+		t.Fatal("expected failure alloc")
+	}
+	p.ResetTo(1<<21, FirstFit)
+	st := p.Stats()
+	if st != (Stats{Capacity: 1 << 21, FreeBlocks: 1, LargestFree: 1 << 21}) {
+		t.Fatalf("ResetTo left stats %+v", st)
+	}
+	if _, err := p.Alloc(1 << 20); err != nil {
+		t.Fatalf("alloc after ResetTo: %v", err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,7 +25,7 @@ var (
 func fuzzSetup() {
 	fuzzOnce.Do(func() {
 		fuzzSrv = New(Config{MaxConcurrent: 2, MaxQueue: 64, CacheEntries: 128})
-		fuzzVerify = newWorkloadCache(16)
+		fuzzVerify = newWorkloadCache(16, nil)
 	})
 }
 

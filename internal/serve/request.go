@@ -84,6 +84,20 @@ type PlanResponse struct {
 	Report               *core.PlanReport `json:"report,omitempty"`
 }
 
+// PeakResponse is the POST /v1/peak success body: the simulator's
+// exact peak for the requested plan (PredictPeak replays the full
+// runtime's alloc/free event sequence on a pooled arena), alongside
+// the planner's static estimate for comparison.
+type PeakResponse struct {
+	Key                string  `json:"key"`
+	Model              string  `json:"model"`
+	Device             string  `json:"device"`
+	Policy             string  `json:"policy"`
+	SimulatedPeakBytes int64   `json:"simulated_peak_bytes"`
+	SimulatedPeakGiB   float64 `json:"simulated_peak_gib"`
+	PlannerPeakBytes   int64   `json:"planner_peak_bytes"`
+}
+
 // ErrorBody is the structured error envelope every non-2xx response
 // carries.
 type ErrorBody struct {

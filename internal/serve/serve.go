@@ -15,6 +15,7 @@ import (
 	"tsplit/internal/baselines"
 	"tsplit/internal/core"
 	"tsplit/internal/obs"
+	"tsplit/internal/sim"
 )
 
 // Config tunes a planning server. The zero value is usable: every
@@ -114,7 +115,7 @@ func New(cfg Config) *Server {
 		reg:       cfg.Metrics,
 		clock:     cfg.Clock,
 		cache:     newPlanCache(cfg.CacheEntries, cfg.Metrics, cfg.Flight),
-		workloads: newWorkloadCache(cfg.WorkloadEntries),
+		workloads: newWorkloadCache(cfg.WorkloadEntries, cfg.Metrics),
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 	}
 	s.group = newFlightGroup(func(key string) {
@@ -131,8 +132,12 @@ func New(cfg Config) *Server {
 	s.reg.SetHelp("tsplit_serve_inflight", "Requests currently being handled.")
 	s.reg.SetHelp("tsplit_serve_request_seconds", "End-to-end request latency.")
 	s.reg.SetHelp("tsplit_serve_plan_seconds", "Planner-run latency (cache misses only).")
+	s.reg.SetHelp("tsplit_serve_peak_seconds", "Peak-prediction latency (plan + PredictPeak, /v1/peak only).")
+	s.reg.SetHelp("tsplit_simpool_gets_total", "Simulators borrowed from per-workload SimPools.")
+	s.reg.SetHelp("tsplit_simpool_reuse_hits_total", "SimPool borrows that recycled a warm arena instead of allocating one.")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/peak", s.handlePeak)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
@@ -303,6 +308,110 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.writePlan(w, start, res.body, state, key)
 }
 
+// handlePeak is POST /v1/peak: plan the requested policy, then replay
+// the plan through the simulator's peak-only fast path on the
+// workload's pooled arenas. The peak it returns is bit-for-bit the
+// peak a full simulation (and the verify tooling) reports — the
+// fleet-packing signal the planner's static estimate approximates.
+// Peak responses are not plan-cache entries: they share the planner
+// pool and admission control but leave the /v1/plan key space (and
+// its goldens) untouched.
+func (s *Server) handlePeak(w http.ResponseWriter, r *http.Request) {
+	start := s.clock()
+	if !s.begin() {
+		s.finish(w, start, nil, &httpError{status: http.StatusServiceUnavailable,
+			code: "draining", message: "server is draining"})
+		return
+	}
+	defer s.end()
+
+	sp := s.cfg.Trace.StartSpan("serve.peak")
+	defer sp.End()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.finish(w, start, sp, &httpError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "use POST"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.finish(w, start, sp, errBadRequest("reading body: %v", err))
+		return
+	}
+	req, herr := decodeRequest(body)
+	if herr != nil {
+		s.finish(w, start, sp, herr)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	wl, herr := s.workloads.get(req)
+	if herr != nil {
+		s.finish(w, start, sp, herr)
+		return
+	}
+	key := planKey(wl.digest, wl.dev, req.Options)
+	sp.SetAttr("key", key)
+
+	release, v := s.admit(ctx)
+	switch v {
+	case shed:
+		s.reg.Add("tsplit_serve_shed_total", 1)
+		s.cfg.Flight.Record("serve.shed", "admission queue full", obs.L("key", key))
+		s.finish(w, start, sp, &httpError{status: http.StatusTooManyRequests,
+			code: "overloaded", message: fmt.Sprintf("admission queue full (%d running, %d queued)",
+				s.cfg.MaxConcurrent, s.cfg.MaxQueue)})
+		return
+	case expired:
+		s.finish(w, start, sp, &httpError{status: http.StatusServiceUnavailable,
+			code: "timeout", message: "request expired in the admission queue"})
+		return
+	}
+	defer release()
+
+	peakStart := s.clock()
+	plan, _, herr := s.buildPlan(req, wl)
+	if herr != nil {
+		s.finish(w, start, sp, herr)
+		return
+	}
+	simOpts := sim.Options{Capacity: req.Options.CapacityBytes, Recompute: sim.LRURecompute}
+	simr := wl.sims.Get(wl.g, wl.sched, wl.lv, plan, wl.dev, simOpts)
+	peak, perr := simr.PredictPeak()
+	wl.sims.Put(simr)
+	s.reg.Observe("tsplit_serve_peak_seconds", s.clock().Sub(peakStart).Seconds())
+	if perr != nil {
+		s.finish(w, start, sp, &httpError{status: http.StatusUnprocessableEntity,
+			code: "infeasible", message: perr.Error()})
+		return
+	}
+	respBody, err := json.Marshal(&PeakResponse{
+		Key:                key,
+		Model:              req.displayName(),
+		Device:             wl.dev.Name,
+		Policy:             req.Options.Policy,
+		SimulatedPeakBytes: peak,
+		SimulatedPeakGiB:   float64(peak) / (1 << 30),
+		PlannerPeakBytes:   plan.PredictedPeak,
+	})
+	if err != nil {
+		s.finish(w, start, sp, &httpError{status: http.StatusInternalServerError,
+			code: "internal", message: fmt.Sprintf("encoding response: %v", err)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tsplit-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(respBody) // client gone: nothing useful to do
+	s.observe(start, http.StatusOK)
+}
+
 // runPlanner is the singleflight leader body: acquire a planner slot
 // (admission control), plan, serialize, and cache.
 func (s *Server) runPlanner(ctx context.Context, parent *obs.Span, req *PlanRequest, wl *prepared, key string) planResult {
@@ -353,9 +462,9 @@ func (s *Server) runPlanner(ctx context.Context, parent *obs.Span, req *PlanRequ
 	return planResult{body: body}
 }
 
-// buildResponse runs the requested policy and assembles the response
-// value that will be cached and served.
-func (s *Server) buildResponse(req *PlanRequest, wl *prepared, key string) (*PlanResponse, *httpError) {
+// buildPlan runs the requested policy on pooled planner arenas,
+// returning the plan (and its report when asked for).
+func (s *Server) buildPlan(req *PlanRequest, wl *prepared) (*core.Plan, *core.PlanReport, *httpError) {
 	var plan *core.Plan
 	var report *core.PlanReport
 	var err error
@@ -381,8 +490,18 @@ func (s *Server) buildResponse(req *PlanRequest, wl *prepared, key string) (*Pla
 		})
 	}
 	if err != nil {
-		return nil, &httpError{status: http.StatusUnprocessableEntity,
+		return nil, nil, &httpError{status: http.StatusUnprocessableEntity,
 			code: "infeasible", message: err.Error()}
+	}
+	return plan, report, nil
+}
+
+// buildResponse runs the requested policy and assembles the response
+// value that will be cached and served.
+func (s *Server) buildResponse(req *PlanRequest, wl *prepared, key string) (*PlanResponse, *httpError) {
+	plan, report, herr := s.buildPlan(req, wl)
+	if herr != nil {
+		return nil, herr
 	}
 	var planJSON bytes.Buffer
 	if err := core.ExportJSON(&planJSON, plan); err != nil {

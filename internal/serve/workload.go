@@ -9,14 +9,17 @@ import (
 	"tsplit/internal/device"
 	"tsplit/internal/graph"
 	"tsplit/internal/models"
+	"tsplit/internal/obs"
 	"tsplit/internal/profiler"
+	"tsplit/internal/sim"
 	"tsplit/internal/workload"
 )
 
 // prepared is one resolved workload: the built graph with its
-// schedule, liveness, and device profile, a planner pool recycling
-// arenas across requests, and the graph's content digest (computed
-// once — it feeds every plan key for this workload).
+// schedule, liveness, and device profile, a planner pool and a
+// simulator pool recycling arenas across requests, and the graph's
+// content digest (computed once — it feeds every plan key for this
+// workload).
 type prepared struct {
 	name   string
 	g      *graph.Graph
@@ -25,6 +28,7 @@ type prepared struct {
 	prof   *profiler.Profile
 	dev    device.Device
 	pool   *core.PlannerPool
+	sims   *sim.SimPool
 	digest [sha256.Size]byte
 }
 
@@ -39,6 +43,8 @@ type prepared struct {
 // built exactly once without per-entry latches, and the build is
 // milliseconds against a planning request's budget.
 type workloadCache struct {
+	rec obs.Recorder // receives each workload's simulator-pool counters
+
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*wlEntry // lint:guardedby mu
@@ -52,11 +58,11 @@ type wlEntry struct {
 	prev, next *wlEntry
 }
 
-func newWorkloadCache(capacity int) *workloadCache {
+func newWorkloadCache(capacity int, rec obs.Recorder) *workloadCache {
 	if capacity <= 0 {
 		capacity = 32
 	}
-	return &workloadCache{cap: capacity, entries: make(map[string]*wlEntry)}
+	return &workloadCache{rec: rec, cap: capacity, entries: make(map[string]*wlEntry)}
 }
 
 // get resolves a validated request to its prepared workload, building
@@ -69,7 +75,7 @@ func (wc *workloadCache) get(req *PlanRequest) (*prepared, *httpError) {
 		wc.moveToFront(e)
 		return e.w, nil
 	}
-	w, herr := buildWorkload(req)
+	w, herr := buildWorkload(req, wc.rec)
 	if herr != nil {
 		return nil, herr
 	}
@@ -129,8 +135,9 @@ func (wc *workloadCache) unlink(e *wlEntry) {
 }
 
 // buildWorkload constructs the graph a validated request names and
-// prepares it for planning.
-func buildWorkload(req *PlanRequest) (*prepared, *httpError) {
+// prepares it for planning and simulation. rec receives the simulator
+// pool's get/reuse counters (warm-arena hit rate across requests).
+func buildWorkload(req *PlanRequest, rec obs.Recorder) (*prepared, *httpError) {
 	dev, err := device.ByName(req.Device)
 	if err != nil {
 		return nil, errBadRequest("unknown device %q", req.Device)
@@ -156,6 +163,8 @@ func buildWorkload(req *PlanRequest) (*prepared, *httpError) {
 	}
 	lv := graph.AnalyzeLiveness(g, sched)
 	prof := profiler.New(dev, sched)
+	sims := sim.NewSimPool()
+	sims.Obs = rec
 	return &prepared{
 		name:   req.displayName(),
 		g:      g,
@@ -164,6 +173,7 @@ func buildWorkload(req *PlanRequest) (*prepared, *httpError) {
 		prof:   prof,
 		dev:    dev,
 		pool:   core.NewPlannerPool(g, sched, lv, prof, dev),
+		sims:   sims,
 		digest: graphDigest(g),
 	}, nil
 }

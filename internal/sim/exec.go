@@ -1,13 +1,14 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tsplit/internal/core"
+	"tsplit/internal/device"
 	"tsplit/internal/faults"
 	"tsplit/internal/graph"
 	"tsplit/internal/memorypool"
+	"tsplit/internal/obs"
 	"tsplit/internal/tensor"
 )
 
@@ -20,10 +21,42 @@ func (s *Simulator) Run() (Result, error) {
 	return res, err
 }
 
+// PredictPeak runs the plan's allocation/free/eviction event sequence
+// with the stream clocks frozen and answers "does this plan fit, and
+// at what peak" — the fleet packer's query. The event sequence the
+// simulator executes is independent of simulated time (deferred frees
+// drain in issue order either way), so the returned peak — and any
+// OOM error — is bit-for-bit what a full Run() would report,
+// including fault-injected capacity pressure, at a fraction of the
+// cost: no cost-model evaluation, stream arithmetic, spans, timeline,
+// or metrics. Nothing is emitted to Obs/Trace/Flight.
+func (s *Simulator) PredictPeak() (int64, error) {
+	s.peakOnly = true
+	res, err := s.run()
+	s.peakOnly = false
+	if err != nil {
+		return 0, err
+	}
+	return res.PeakBytes, nil
+}
+
+// PredictPeak is the one-shot form of (*Simulator).PredictPeak.
+func PredictPeak(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, plan *core.Plan, dev device.Device, opts Options) (int64, error) {
+	return New(g, sched, lv, plan, dev, opts).PredictPeak()
+}
+
+// rootSpan opens the run's trace span; peak-only runs trace nothing.
+func (s *Simulator) rootSpan() *obs.Span {
+	if s.peakOnly {
+		return nil
+	}
+	return s.Opts.Trace.StartSpan("sim.run")
+}
+
 func (s *Simulator) run() (Result, error) {
 	s.reset()
-	rsp := s.Opts.Trace.StartSpan("sim.run")
-	defer rsp.End()
+	rootSpan := s.rootSpan()
+	defer rootSpan.End()
 	if err := s.stageResidents(); err != nil {
 		return s.res, err
 	}
@@ -31,21 +64,23 @@ func (s *Simulator) run() (Result, error) {
 	for i, op := range s.Sched.Ops {
 		// An op span left open by an error return exports with a -1
 		// duration — the doctor shows exactly which op the run died in.
-		osp := rsp.StartSpan("sim.op")
+		osp := rootSpan.StartSpan("sim.op")
 		osp.SetAttr("op", op.Name)
 		s.curOp = i
 		if err := s.applyFaultWindows(i); err != nil {
 			return s.res, err
 		}
-		for _, t := range s.prefetch[i] {
+		for _, t := range s.prefTensors[s.prefStart[i]:s.prefStart[i+1]] {
 			if err := s.startSwapIn(t, s.tc); err != nil {
 				return s.res, err
 			}
 		}
-		pureCompute += s.Cost.OpTime(op)
 		var err error
-		if sp, ok := s.Plan.SplitFor(op); ok {
-			err = s.execSplit(i, op, sp)
+		if !s.peakOnly {
+			pureCompute += s.opTime[i]
+		}
+		if si := s.splitIdx[op.ID]; si >= 0 {
+			err = s.execSplit(i, op, s.splitList[si])
 		} else {
 			err = s.execWhole(i, op)
 		}
@@ -66,11 +101,12 @@ func (s *Simulator) run() (Result, error) {
 }
 
 // resident reports whether the tensor is pinned on device for the
-// whole iteration under the plan.
-func (s *Simulator) resident(t *graph.Tensor) bool {
-	if t.Producer != nil {
-		return false
-	}
+// whole iteration under the plan (precomputed by reset).
+func (s *Simulator) resident(t *graph.Tensor) bool { return s.residentB[t.ID] }
+
+// planResident computes residency for a producer-less tensor from the
+// plan; reset caches it into residentB.
+func (s *Simulator) planResident(t *graph.Tensor) bool {
 	switch t.Kind {
 	case tensor.Parameter:
 		return !s.Plan.ShardParams
@@ -78,8 +114,7 @@ func (s *Simulator) resident(t *graph.Tensor) bool {
 		return !s.Plan.OffloadOptimizer
 	default:
 		// Staged inputs are resident unless explicitly planned.
-		_, planned := s.Plan.Tensors[t.ID]
-		return !planned || s.Plan.TensorOpt(t) == core.Reside
+		return !s.planned[t.ID] || s.tplans[t.ID].Opt == core.Reside
 	}
 }
 
@@ -91,16 +126,16 @@ func (s *Simulator) stageResidents() error {
 			continue
 		}
 		if !s.resident(t) {
-			s.state[t] = onHost
+			s.state[t.ID] = onHost
 			continue
 		}
 		blk, _, err := s.allocWait(t.Bytes(), 0)
 		if err != nil {
 			return fmt.Errorf("sim: staging %s: %w", t.Name, err)
 		}
-		s.state[t] = onDevice
-		s.block[t] = blk
-		s.readyAt[t] = 0
+		s.state[t.ID] = onDevice
+		s.block[t.ID] = blk
+		s.readyAt[t.ID] = 0
 	}
 	return nil
 }
@@ -116,43 +151,41 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 			return blk, at, nil
 		}
 		if len(s.pending) > 0 {
-			ev := heap.Pop(&s.pending).(freeEvent)
+			ev := s.pending.pop()
 			s.pool.FreeBlock(ev.block)
 			if ev.at > at {
 				at = ev.at
 			}
 			continue
 		}
-		if s.Opts.Recompute == LRURecompute && len(s.lruCache) > 0 {
-			victim := s.lruCache[0]
-			s.lruCache = s.lruCache[1:]
-			if s.state[victim] == onDevice && !s.pinned[victim] {
-				s.pool.FreeBlock(s.block[victim])
-				delete(s.block, victim)
-				s.state[victim] = dropped
+		if s.Opts.Recompute == LRURecompute && s.lruHead < len(s.lruCache) {
+			victim := s.lruCache[s.lruHead]
+			s.lruHead++
+			if s.state[victim.ID] == onDevice && !s.pinned[victim.ID] {
+				s.pool.FreeBlock(s.block[victim.ID])
+				s.block[victim.ID] = memorypool.Block{}
+				s.state[victim.ID] = dropped
 			}
 			continue
 		}
 		if s.Opts.Recompute == LRURecompute {
 			// Pressure valve: regenerated tensors not touched by the
 			// current operator can always be dropped and re-produced.
+			// Largest first; ties broken by the ascending-ID scan.
 			var victim *graph.Tensor
-			//lint:allow maporder argmax with ID tie-break is order-insensitive
-			for t, wr := range s.wasRecomputed {
-				if !wr || s.state[t] != onDevice || s.pinned[t] {
+			for id, wr := range s.wasRecomputed {
+				if !wr || s.state[id] != onDevice || s.pinned[id] {
 					continue
 				}
-				// Largest first; ties broken by ID so the choice does not
-				// depend on map iteration order.
-				if victim == nil || t.Bytes() > victim.Bytes() ||
-					(t.Bytes() == victim.Bytes() && t.ID < victim.ID) {
+				t := s.G.Tensors[id]
+				if victim == nil || t.Bytes() > victim.Bytes() {
 					victim = t
 				}
 			}
 			if victim != nil {
-				s.pool.FreeBlock(s.block[victim])
-				delete(s.block, victim)
-				s.state[victim] = dropped
+				s.pool.FreeBlock(s.block[victim.ID])
+				s.block[victim.ID] = memorypool.Block{}
+				s.state[victim.ID] = dropped
 				continue
 			}
 		}
@@ -165,11 +198,12 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 				return memorypool.Block{}, at, fmt.Errorf("%w: need %d bytes, %d in use of %d (already compact)",
 					ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity())
 			}
-			//lint:allow maporder each entry is remapped independently; no cross-entry state
-			for t, blk := range s.block {
-				if no, ok := remap[blk.Offset]; ok {
-					blk.Offset = no
-					s.block[t] = blk
+			for id := range s.block {
+				if s.block[id].Size == 0 {
+					continue
+				}
+				if no, ok := remap[s.block[id].Offset]; ok {
+					s.block[id].Offset = no
 				}
 			}
 			for i := range s.pending {
@@ -178,7 +212,7 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 				}
 			}
 			for _, lb := range s.locals {
-				if lb == nil {
+				if lb == nil || lb.Size == 0 {
 					continue
 				}
 				if no, ok := remap[lb.Offset]; ok {
@@ -193,17 +227,19 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 					s.hogs[k].blk.Offset = no
 				}
 			}
-			cost := 2 * float64(moved) / s.Dev.MemBandwidth // read + write
-			s.tc += cost
-			at += cost
-			s.res.CompactTime += cost
+			if !s.peakOnly {
+				cost := 2 * float64(moved) / s.Dev.MemBandwidth // read + write
+				s.tc += cost
+				at += cost
+				s.res.CompactTime += cost
+			}
 			s.res.Compactions++
 			s.compactions++
 			s.res.MovedBytes += moved
 			continue
 		}
 		return memorypool.Block{}, at, fmt.Errorf("%w: need %d bytes, %d in use of %d (pending=%d lru=%d compactions=%d)",
-			ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity(), len(s.pending), len(s.lruCache), s.compactions)
+			ErrOOM, bytes, s.pool.InUse(), s.pool.Capacity(), len(s.pending), len(s.lruCache)-s.lruHead, s.compactions)
 	}
 }
 
@@ -212,13 +248,16 @@ func (s *Simulator) allocWait(bytes int64, at float64) (memorypool.Block, float6
 // streamed out early (EarlyOut split of the producer), the block is
 // freed immediately without new PCIe traffic.
 func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool) {
-	blk, ok := s.block[t]
-	if !ok {
+	blk := s.block[t.ID]
+	if blk.Size == 0 {
 		return
 	}
-	if alreadyCopied {
+	switch {
+	case alreadyCopied:
 		s.pool.FreeBlock(blk)
-	} else {
+	case s.peakOnly:
+		s.pushPending(0, blk, t)
+	default:
 		start := s.td
 		if at > start {
 			start = at
@@ -228,7 +267,7 @@ func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool
 		s.td = start + dur
 		s.res.D2HBusy += dur
 		s.res.SwapOutBytes += t.Bytes()
-		heap.Push(&s.pending, freeEvent{at: s.td, block: blk, t: t})
+		s.pushPending(s.td, blk, t)
 		if s.Opts.CollectTimeline {
 			s.res.Timeline = append(s.res.Timeline, TimelinePoint{
 				Name: "swapout." + t.Name, Start: start, End: s.td,
@@ -237,19 +276,24 @@ func (s *Simulator) startSwapOut(t *graph.Tensor, at float64, alreadyCopied bool
 			})
 		}
 	}
-	delete(s.block, t)
-	s.state[t] = onHost
+	s.block[t.ID] = memorypool.Block{}
+	s.state[t.ID] = onHost
 }
 
 // startSwapIn issues an H2D copy restoring t; the tensor is usable
 // when the copy completes.
 func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
-	if s.state[t] != onHost {
+	if s.state[t.ID] != onHost {
 		return nil
 	}
 	blk, ready, err := s.allocWait(t.Bytes(), at)
 	if err != nil {
 		return err
+	}
+	s.block[t.ID] = blk
+	s.state[t.ID] = onDevice
+	if s.peakOnly {
+		return nil
 	}
 	start := s.th
 	if ready > start {
@@ -260,9 +304,7 @@ func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
 	s.th = start + dur
 	s.res.H2DBusy += dur
 	s.res.SwapInBytes += t.Bytes()
-	s.block[t] = blk
-	s.state[t] = onDevice
-	s.readyAt[t] = s.th
+	s.readyAt[t.ID] = s.th
 	if s.Opts.CollectTimeline {
 		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
 			Name: "swapin." + t.Name, Start: start, End: s.th,
@@ -276,14 +318,14 @@ func (s *Simulator) startSwapIn(t *graph.Tensor, at float64) error {
 // ensureInput makes t usable on device and returns the time it is
 // ready.
 func (s *Simulator) ensureInput(t *graph.Tensor, at float64) (float64, error) {
-	switch s.state[t] {
+	switch s.state[t.ID] {
 	case onDevice:
-		return s.readyAt[t], nil
+		return s.readyAt[t.ID], nil
 	case onHost:
 		if err := s.startSwapIn(t, at); err != nil {
 			return 0, err
 		}
-		return s.readyAt[t], nil
+		return s.readyAt[t.ID], nil
 	case dropped:
 		return s.regenerate(t, at)
 	case unborn:
@@ -293,15 +335,15 @@ func (s *Simulator) ensureInput(t *graph.Tensor, at float64) (float64, error) {
 	}
 }
 
-// opDuration returns the compute-stream time of an unsplit operator,
-// with the CPU-offload special cases.
-func (s *Simulator) opDuration(op *graph.Op) float64 {
+// opDuration returns the compute-stream time of the unsplit operator
+// at schedule index i, with the CPU-offload special cases.
+func (s *Simulator) opDuration(i int, op *graph.Op) float64 {
 	if op.Kind == graph.SGDUpdate && s.Plan.OffloadOptimizer {
 		// The update runs on the CPU (ZeRO-Offload); the GPU only
 		// synchronizes. Transfers are charged separately.
 		return 0
 	}
-	return s.Cost.OpTime(op)
+	return s.opTime[i]
 }
 
 // execWhole executes an unsplit operator.
@@ -328,8 +370,8 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 		if err != nil {
 			return err
 		}
-		wsBlock, ready = &blk, r
-		s.hold(wsBlock)
+		ready = r
+		wsBlock = s.holdVal(blk)
 	}
 	for _, out := range op.Outputs {
 		blk, r, err := s.allocWait(out.Bytes(), ready)
@@ -337,8 +379,14 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 			return err
 		}
 		ready = r
-		s.block[out] = blk
-		s.state[out] = onDevice
+		s.block[out.ID] = blk
+		s.state[out.ID] = onDevice
+	}
+	if s.peakOnly {
+		if wsBlock != nil {
+			s.pool.FreeBlock(*wsBlock)
+		}
+		return nil
 	}
 
 	start := s.tc
@@ -346,12 +394,12 @@ func (s *Simulator) execWhole(i int, op *graph.Op) error {
 		start = ready
 	}
 	s.chargeStall(start, readyIn)
-	dur := s.noisy(i, s.opDuration(op))
+	dur := s.noisy(i, s.opDuration(i, op))
 	end := start + dur
 	s.tc = end
 	s.res.ComputeTime += dur
 	for _, out := range op.Outputs {
-		s.readyAt[out] = end
+		s.readyAt[out.ID] = end
 	}
 	if wsBlock != nil {
 		s.pool.FreeBlock(*wsBlock)

@@ -1,13 +1,32 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tsplit/internal/core"
 	"tsplit/internal/graph"
 	"tsplit/internal/memorypool"
 )
+
+// microOutSize returns the size of output micro-part k when outB bytes
+// split into pn parts of microOut (the last part absorbs remainder).
+func microOutSize(outB, microOut int64, pn, k int) int64 {
+	if k == pn-1 {
+		return outB - microOut*int64(pn-1)
+	}
+	return microOut
+}
+
+// microOnHost reports whether t is one of the split's micro-restored
+// inputs that was on the host when the op started (s.microOn snapshot).
+func (s *Simulator) microOnHost(sp core.OpSplit, t *graph.Tensor) bool {
+	for mi, m := range sp.MicroIns {
+		if m == t && s.microOn[mi] {
+			return true
+		}
+	}
+	return false
+}
 
 // execSplit executes an operator as a sequence of p_num
 // micro-operators (paper Sec. V-A): carved inputs are partitioned in
@@ -32,13 +51,18 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	mode := core.MergeModeFor(op, sp)
 	stageTensor := core.RestoreStageTensor(op, sp)
 
-	microSet := make(map[*graph.Tensor]bool, len(sp.MicroIns))
-	for _, t := range sp.MicroIns {
-		if s.state[t] == onHost {
-			microSet[t] = true
+	// Snapshot which micro-restored inputs stream from the host. State
+	// cannot change between here and their per-part stream-ins (micro
+	// tensors are never carved: carving requires onDevice).
+	s.microOn = grow(s.microOn, len(sp.MicroIns))
+	nMicro := 0
+	for mi, t := range sp.MicroIns {
+		if s.state[t.ID] == onHost {
+			s.microOn[mi] = true
+			nMicro++
 		}
 	}
-	if mode == core.MergeRestoreInPlace && (stageTensor == nil || !microSet[stageTensor]) {
+	if mode == core.MergeRestoreInPlace && (stageTensor == nil || !s.microOnHost(sp, stageTensor)) {
 		mode = core.MergePhysical
 		stageTensor = nil
 	}
@@ -46,7 +70,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	// Whole inputs (weights, non-streamable activations).
 	ready := s.tc
 	for _, t := range op.Inputs {
-		if microSet[t] || s.skipInput(op, t) {
+		if s.microOnHost(sp, t) || s.skipInput(op, t) {
 			continue
 		}
 		r, err := s.ensureInput(t, s.tc)
@@ -59,22 +83,25 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	}
 	readyIn := ready
 
-	// Carve evict-as-consumed inputs in place.
-	type carvedInput struct {
-		t      *graph.Tensor
-		blocks []memorypool.Block
+	// Carve evict-as-consumed inputs in place. The partitions live in
+	// the reusable carve buffers; holds point into them (no further
+	// appends this op, so the addresses are stable).
+	if cap(s.carvedIns) < 2 {
+		s.carvedIns = make([]carvedInput, 0, 2)
 	}
-	var carvedIns []carvedInput
+	carvedIns := s.carvedIns[:0]
 	if sp.InOpt != core.Reside {
-		for _, t := range []*graph.Tensor{in, sp.In2} {
-			if t == nil || s.state[t] != onDevice {
+		carveSrc := [2]*graph.Tensor{in, sp.In2}
+		for ci, t := range carveSrc {
+			if t == nil || s.state[t.ID] != onDevice {
 				continue
 			}
-			blocks, err := s.pool.SplitUsed(s.block[t], pn)
+			blocks, err := s.pool.SplitUsedInto(s.block[t.ID], pn, s.carveBuf[ci][:0])
 			if err != nil {
 				continue // too small to carve; keep whole
 			}
-			delete(s.block, t)
+			s.carveBuf[ci] = blocks
+			s.block[t.ID] = memorypool.Block{}
 			carvedIns = append(carvedIns, carvedInput{t, blocks})
 			for k := range blocks {
 				s.hold(&blocks[k])
@@ -85,18 +112,21 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		mode = core.MergePhysical
 	}
 
-	perPart, _ := s.Cost.SplitTimes(op, pn)
-	if effectiveKindOf(op) == graph.BatchNorm {
-		// Micro-tensor batch normalization: a second pass finalizes
-		// the batch statistics before normalizing each micro-tensor.
-		perPart += float64(in.Bytes()) / float64(pn) / s.Dev.MemBandwidth
-	}
-	if s.noise != nil {
-		// The same misprediction factor applies to every micro-op of
-		// the split (they are the same kernel on smaller tensors).
-		np := perPart * s.noise[i]
-		s.res.Faults.OpNoiseSeconds += (np - perPart) * float64(pn)
-		perPart = np
+	var perPart float64
+	if !s.peakOnly {
+		perPart, _ = s.Cost.SplitTimes(op, pn)
+		if effectiveKindOf(op) == graph.BatchNorm {
+			// Micro-tensor batch normalization: a second pass finalizes
+			// the batch statistics before normalizing each micro-tensor.
+			perPart += float64(in.Bytes()) / float64(pn) / s.Dev.MemBandwidth
+		}
+		if s.noise != nil {
+			// The same misprediction factor applies to every micro-op of
+			// the split (they are the same kernel on smaller tensors).
+			np := perPart * s.noise[i]
+			s.res.Faults.OpNoiseSeconds += (np - perPart) * float64(pn)
+			perPart = np
+		}
 	}
 
 	var wsBlock *memorypool.Block
@@ -105,8 +135,8 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		if err != nil {
 			return err
 		}
-		wsBlock, ready = &blk, r
-		s.hold(wsBlock)
+		ready = r
+		wsBlock = s.holdVal(blk)
 	}
 	// Reduction outputs (e.g. dW of a sample-split conv backward)
 	// accumulate across micro-operators: full-size from the start.
@@ -119,25 +149,17 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			return err
 		}
 		ready = r
-		s.block[o] = blk
-		s.state[o] = onDevice
+		s.block[o.ID] = blk
+		s.state[o.ID] = onDevice
 	}
 
 	earlyOut := false
-	if sp.EarlyOut {
-		if tp, ok := s.Plan.Tensors[out.ID]; ok && tp.Opt == core.Swap {
-			earlyOut = true
-		}
+	if sp.EarlyOut && s.planned[out.ID] && s.tplans[out.ID].Opt == core.Swap {
+		earlyOut = true
 	}
 
 	outB := out.Bytes()
 	microOut := outB / int64(pn)
-	outSize := func(k int) int64 {
-		if k == pn-1 {
-			return outB - microOut*int64(pn-1)
-		}
-		return microOut
-	}
 
 	// Merge-mode set-up.
 	var restoreSlots []memorypool.Block // MergeRestoreInPlace region
@@ -149,10 +171,11 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			return err
 		}
 		ready = r
-		slots, err := s.pool.SplitUsed(region, pn)
+		slots, err := s.pool.SplitUsedInto(region, pn, s.restoreSlots[:0])
 		if err != nil {
 			return err
 		}
+		s.restoreSlots = slots
 		restoreSlots = slots
 		for k := range restoreSlots {
 			s.hold(&restoreSlots[k])
@@ -160,7 +183,7 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	case core.MergeCarveInPlace:
 		// Verify the carved slots fit the staged micro-outputs.
 		for k, blk := range carvedIns[0].blocks {
-			if blk.Size < outSize(k) {
+			if blk.Size < microOutSize(outB, microOut, pn, k) {
 				mode = core.MergePhysical
 				break
 			}
@@ -171,8 +194,8 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		if err != nil {
 			mode = core.MergePhysical
 		} else {
-			stageBuf, ready = &blk, r
-			s.hold(stageBuf)
+			ready = r
+			stageBuf = s.holdVal(blk)
 		}
 	}
 	if mode == core.MergePhysical && restoreSlots != nil {
@@ -183,15 +206,24 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		restoreSlots = nil
 	}
 
-	outBlocks := make([]memorypool.Block, 0, pn)
+	if cap(s.outBlocks) < pn {
+		s.outBlocks = make([]memorypool.Block, 0, 2*pn)
+	}
+	if cap(s.microPtrs) < len(sp.MicroIns) {
+		s.microPtrs = make([]*memorypool.Block, 0, 2*len(sp.MicroIns))
+	}
+	outBlocks := s.outBlocks[:0]
 	for k := 0; k < pn; k++ {
+		osz := microOutSize(outB, microOut, pn, k)
 		kready := ready
 		// Stream in this micro-part of each micro-restored input. The
 		// stage tensor's slice lands directly in slot k of the output
 		// region; others use scratch blocks freed after the micro-op.
-		microBlocks := make([]memorypool.Block, 0, len(sp.MicroIns))
-		for _, t := range sp.MicroIns {
-			if !microSet[t] {
+		// Scratch blocks sit in arena slots (distinct per part, so the
+		// compaction remapper never sees a reused address within an op).
+		microPtrs := s.microPtrs[:0]
+		for mi, t := range sp.MicroIns {
+			if !s.microOn[mi] {
 				continue
 			}
 			part := t.Bytes() / int64(pn)
@@ -203,54 +235,62 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 				if r > kready {
 					kready = r
 				}
-				microBlocks = append(microBlocks, blk)
-				s.hold(&microBlocks[len(microBlocks)-1])
+				microPtrs = append(microPtrs, s.holdVal(blk))
 			}
-			start := s.th
-			if kready > start {
-				start = kready
-			}
-			dur := s.xfer(part)
-			s.th = start + dur
-			s.res.H2DBusy += dur
-			s.res.SwapInBytes += part
-			if s.th > kready {
-				kready = s.th
+			if !s.peakOnly {
+				start := s.th
+				if kready > start {
+					start = kready
+				}
+				dur := s.xfer(part)
+				s.th = start + dur
+				s.res.H2DBusy += dur
+				s.res.SwapInBytes += part
+				if s.th > kready {
+					kready = s.th
+				}
 			}
 		}
 
-		// Micro output destination.
-		var oblk memorypool.Block
+		// Micro output destination: slot k of the reused outBlocks
+		// buffer, registered with the compaction remapper by address —
+		// a value copy here would go stale if a later micro-part's
+		// allocation compacted the arena.
+		outBlocks = append(outBlocks, memorypool.Block{})
+		oblk := &outBlocks[k]
 		if mode == core.MergePhysical {
-			blk, r, err := s.allocWait(outSize(k), kready)
+			blk, r, err := s.allocWait(osz, kready)
 			if err != nil {
 				return err
 			}
-			oblk = blk
+			*oblk = blk
 			if r > kready {
 				kready = r
 			}
 		}
-		s.hold(&oblk)
+		s.hold(oblk)
 
-		start := s.tc
-		if kready > start {
-			start = kready
-		}
-		if k == 0 {
-			s.chargeStall(start, readyIn)
-		} else if st := start - s.tc; st > 0 {
-			// Later micro-parts wait on the streaming restore (when one
-			// is active) or on pool memory.
-			if len(microSet) > 0 {
-				s.res.InputStallTime += st
-			} else {
-				s.res.AllocStallTime += st
+		var end float64
+		if !s.peakOnly {
+			start := s.tc
+			if kready > start {
+				start = kready
 			}
+			if k == 0 {
+				s.chargeStall(start, readyIn)
+			} else if st := start - s.tc; st > 0 {
+				// Later micro-parts wait on the streaming restore (when one
+				// is active) or on pool memory.
+				if nMicro > 0 {
+					s.res.InputStallTime += st
+				} else {
+					s.res.AllocStallTime += st
+				}
+			}
+			end = start + perPart
+			s.tc = end
+			s.res.ComputeTime += perPart
 		}
-		end := start + perPart
-		s.tc = end
-		s.res.ComputeTime += perPart
 
 		// Retire this micro-part of the carved inputs; in carve-staging
 		// mode the primary input's freed slot receives the staged
@@ -260,25 +300,31 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 			switch {
 			case mode == core.MergeCarveInPlace && c.t == in:
 				s.pool.FreeBlock(blk)
-				ab, err := s.pool.AllocAt(blk.Offset, outSize(k))
+				ab, err := s.pool.AllocAt(blk.Offset, osz)
 				if err != nil {
-					ab, _, err = s.allocWait(outSize(k), s.tc)
+					ab, _, err = s.allocWait(osz, s.tc)
 					if err != nil {
 						return err
 					}
 				}
-				s.chargeCopy(outSize(k))
-				oblk = ab
-			case sp.InOpt == core.Swap:
-				ds := s.td
-				if end > ds {
-					ds = end
+				if !s.peakOnly {
+					s.chargeCopy(osz)
 				}
-				dur := s.xfer(blk.Size)
-				s.td = ds + dur
-				s.res.D2HBusy += dur
-				s.res.SwapOutBytes += blk.Size
-				heap.Push(&s.pending, freeEvent{at: s.td, block: blk, t: c.t})
+				*oblk = ab
+			case sp.InOpt == core.Swap:
+				if s.peakOnly {
+					s.pushPending(0, blk, c.t)
+				} else {
+					ds := s.td
+					if end > ds {
+						ds = end
+					}
+					dur := s.xfer(blk.Size)
+					s.td = ds + dur
+					s.res.D2HBusy += dur
+					s.res.SwapOutBytes += blk.Size
+					s.pushPending(s.td, blk, c.t)
+				}
 			default:
 				s.pool.FreeBlock(blk)
 			}
@@ -286,22 +332,23 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 		if mode == core.MergeRestoreInPlace {
 			// Overwrite slot k (holding the consumed restore slice)
 			// with the staged micro-output.
-			s.chargeCopy(outSize(k))
-			oblk = restoreSlots[k]
+			if !s.peakOnly {
+				s.chargeCopy(osz)
+			}
+			*oblk = restoreSlots[k]
 		}
-		outBlocks = append(outBlocks, oblk)
-		for _, blk := range microBlocks {
-			s.pool.FreeBlock(blk)
+		for _, p := range microPtrs {
+			s.pool.FreeBlock(*p)
 		}
-		if earlyOut {
+		if earlyOut && !s.peakOnly {
 			ds := s.td
 			if end > ds {
 				ds = end
 			}
-			dur := s.xfer(outSize(k))
+			dur := s.xfer(osz)
 			s.td = ds + dur
 			s.res.D2HBusy += dur
-			s.res.SwapOutBytes += outSize(k)
+			s.res.SwapOutBytes += osz
 		}
 	}
 
@@ -309,11 +356,11 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 	for _, c := range carvedIns {
 		switch {
 		case sp.InOpt == core.Swap:
-			s.state[c.t] = onHost
-		case s.remaining[c.t] > 1 || hasUseAfter(s, c.t, i):
-			s.state[c.t] = dropped
+			s.state[c.t.ID] = onHost
+		case s.remaining[c.t.ID] > 1 || s.hasUseAfter(c.t, i):
+			s.state[c.t.ID] = dropped
 		default:
-			s.state[c.t] = freed
+			s.state[c.t.ID] = freed
 		}
 	}
 
@@ -323,36 +370,37 @@ func (s *Simulator) execSplit(i int, op *graph.Op, sp core.OpSplit) error {
 
 	// Merge the output micro-tensors for the (unsplit) consumer.
 	if merged, ok := s.pool.MergeUsed(outBlocks); ok {
-		s.block[out] = merged
+		s.block[out.ID] = merged
 	} else {
 		blk, r, err := s.allocWait(outB, s.tc)
 		if err != nil {
 			return fmt.Errorf("merging %s: %w", out.Name, err)
 		}
-		if r > s.tc {
-			s.res.AllocStallTime += r - s.tc
+		if !s.peakOnly {
+			if r > s.tc {
+				s.res.AllocStallTime += r - s.tc
+				s.tc = r
+			}
+			s.chargeCopy(outB)
 		}
-		start := s.tc
-		if r > start {
-			start = r
-		}
-		s.tc = start
-		s.chargeCopy(outB)
 		for _, b := range outBlocks {
 			s.pool.FreeBlock(b)
 		}
-		s.block[out] = blk
+		s.block[out.ID] = blk
 	}
-	s.state[out] = onDevice
-	s.readyAt[out] = s.tc
-	for _, o := range op.Outputs {
-		s.readyAt[o] = s.tc
-	}
+	s.state[out.ID] = onDevice
 	if earlyOut {
-		s.earlyCopied[out] = true
+		s.earlyCopied[out.ID] = true
 	}
 	if wsBlock != nil {
 		s.pool.FreeBlock(*wsBlock)
+	}
+	if s.peakOnly {
+		return nil
+	}
+	s.readyAt[out.ID] = s.tc
+	for _, o := range op.Outputs {
+		s.readyAt[o.ID] = s.tc
 	}
 	if s.Opts.CollectTimeline {
 		s.res.Timeline = append(s.res.Timeline, TimelinePoint{
@@ -380,9 +428,9 @@ func effectiveKindOf(op *graph.Op) graph.OpKind {
 }
 
 // hasUseAfter reports whether t has any consumer scheduled after i.
-func hasUseAfter(s *Simulator, t *graph.Tensor, i int) bool {
+func (s *Simulator) hasUseAfter(t *graph.Tensor, i int) bool {
 	for _, c := range t.Consumers {
-		if s.Sched.Index[c] > i {
+		if int(s.schedIdx[c.ID]) > i {
 			return true
 		}
 	}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"tsplit/internal/baselines"
+	"tsplit/internal/core"
+	"tsplit/internal/faults"
+	"tsplit/internal/models"
+)
+
+// PredictPeak skips timing, stream contention, observation, and the
+// timeline — but the alloc/free event sequence it replays must be the
+// full Run()'s exactly, so the peak it reports (and any OOM it hits)
+// is bit-for-bit identical. These tests sweep the model zoo × every
+// policy, plus fault-injected and over-committed configurations.
+
+func peakPlan(t *testing.T, b *bed, policy string, cap int64) *core.Plan {
+	t.Helper()
+	if policy == "tsplit" {
+		plan, err := core.NewPlanner(b.g, b.sched, b.lv, b.prof, b.dev,
+			core.Options{Capacity: cap, FragmentationReserve: -1}).Plan()
+		if err != nil {
+			t.Skipf("tsplit planning infeasible: %v", err)
+		}
+		return plan
+	}
+	plan, err := baselines.Registry[policy](baselines.Inputs{
+		G: b.g, Sched: b.sched, Lv: b.lv, Prof: b.prof, Dev: b.dev})
+	if err != nil {
+		// Some baselines don't apply to every architecture (the conv
+		// offloaders need convolution layers); nothing to compare.
+		t.Skipf("%s inapplicable: %v", policy, err)
+	}
+	return plan
+}
+
+func TestPredictPeakMatchesRunAcrossZoo(t *testing.T) {
+	zoo := []struct {
+		model string
+		batch int
+	}{
+		{"vgg16", 256},
+		{"resnet50", 256},
+		{"bert-large", 64},
+	}
+	policies := []string{"base", "vdnn-conv", "vdnn-all", "checkpoints",
+		"superneurons", "zero-offload", "fairscale-offload", "tsplit"}
+	for _, w := range zoo {
+		b := mkbed(t, w.model, models.Config{BatchSize: w.batch})
+		for _, policy := range policies {
+			t.Run(w.model+"/"+policy, func(t *testing.T) {
+				plan := peakPlan(t, b, policy, b.dev.MemBytes)
+				opts := Options{Recompute: LRURecompute}
+				res, runErr := New(b.g, b.sched, b.lv, plan, b.dev, opts).Run()
+				peak, peakErr := PredictPeak(b.g, b.sched, b.lv, plan, b.dev, opts)
+				if (runErr == nil) != (peakErr == nil) {
+					t.Fatalf("feasibility diverges: run err=%v, peak err=%v", runErr, peakErr)
+				}
+				if runErr != nil {
+					if runErr.Error() != peakErr.Error() {
+						t.Fatalf("OOM strings diverge:\nrun:  %s\npeak: %s", runErr, peakErr)
+					}
+					return
+				}
+				if peak != res.PeakBytes {
+					t.Fatalf("peak diverges: PredictPeak=%d Run=%d", peak, res.PeakBytes)
+				}
+			})
+		}
+	}
+}
+
+// TestPredictPeakUnderPressure forces the simulator through its
+// degradation machinery — LRU eviction, the pressure valve, and
+// compaction — where the peak path has the most opportunities to
+// diverge from the timed path.
+func TestPredictPeakUnderPressure(t *testing.T) {
+	for _, tc := range []struct {
+		model string
+		batch int
+		pct   int64 // capacity as percent of the unmanaged peak
+	}{
+		{"vgg16", 256, 70},
+		{"vgg16", 256, 45},
+		{"resnet50", 256, 70},
+	} {
+		t.Run(fmt.Sprintf("%s/%d%%", tc.model, tc.pct), func(t *testing.T) {
+			b := mkbed(t, tc.model, models.Config{BatchSize: tc.batch})
+			cap := b.lv.Peak * tc.pct / 100
+			plan := peakPlan(t, b, "tsplit", cap)
+			opts := Options{Capacity: cap, Recompute: LRURecompute}
+			res, runErr := New(b.g, b.sched, b.lv, plan, b.dev, opts).Run()
+			peak, peakErr := PredictPeak(b.g, b.sched, b.lv, plan, b.dev, opts)
+			if (runErr == nil) != (peakErr == nil) {
+				t.Fatalf("feasibility diverges: run err=%v, peak err=%v", runErr, peakErr)
+			}
+			if runErr != nil {
+				if runErr.Error() != peakErr.Error() {
+					t.Fatalf("OOM strings diverge:\nrun:  %s\npeak: %s", runErr, peakErr)
+				}
+				return
+			}
+			if peak != res.PeakBytes {
+				t.Fatalf("peak diverges: PredictPeak=%d Run=%d", peak, res.PeakBytes)
+			}
+		})
+	}
+}
+
+// TestPredictPeakWithFaults checks the peak path under injection:
+// capacity hogs perturb the peak and must be replayed; op noise and
+// bandwidth degradation are timing-only and must not.
+func TestPredictPeakWithFaults(t *testing.T) {
+	b := mkbed(t, "vgg16", models.Config{BatchSize: 256})
+	cap := b.lv.Peak * 70 / 100
+	plan := peakPlan(t, b, "tsplit", cap)
+	for _, seed := range []uint64{7, 123} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mk := func() Options {
+				return Options{
+					Capacity:  cap,
+					Recompute: LRURecompute,
+					Faults:    faults.New(faults.Config{Seed: seed, Severity: faults.DefaultSeverity}),
+				}
+			}
+			res, runErr := New(b.g, b.sched, b.lv, plan, b.dev, mk()).Run()
+			peak, peakErr := PredictPeak(b.g, b.sched, b.lv, plan, b.dev, mk())
+			if (runErr == nil) != (peakErr == nil) {
+				t.Fatalf("feasibility diverges: run err=%v, peak err=%v", runErr, peakErr)
+			}
+			if runErr != nil {
+				if runErr.Error() != peakErr.Error() {
+					t.Fatalf("OOM strings diverge:\nrun:  %s\npeak: %s", runErr, peakErr)
+				}
+				return
+			}
+			if peak != res.PeakBytes {
+				t.Fatalf("peak diverges under faults: PredictPeak=%d Run=%d", peak, res.PeakBytes)
+			}
+		})
+	}
+}
+
+// TestPredictPeakPooled runs the peak path on a recycled arena,
+// interleaved with full runs, checking neither contaminates the other.
+func TestPredictPeakPooled(t *testing.T) {
+	b := mkbed(t, "resnet50", models.Config{BatchSize: 256})
+	cap := b.lv.Peak * 70 / 100
+	plan := peakPlan(t, b, "tsplit", cap)
+	opts := Options{Capacity: cap, Recompute: LRURecompute}
+	want, err := New(b.g, b.sched, b.lv, plan, b.dev, opts).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pool := NewSimPool()
+	for i := 0; i < 3; i++ {
+		s := pool.Get(b.g, b.sched, b.lv, plan, b.dev, opts)
+		peak, err := s.PredictPeak()
+		if err != nil {
+			t.Fatalf("pooled PredictPeak: %v", err)
+		}
+		if peak != want.PeakBytes {
+			t.Fatalf("pooled PredictPeak=%d, Run=%d", peak, want.PeakBytes)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("pooled Run after PredictPeak: %v", err)
+		}
+		if res.PeakBytes != want.PeakBytes || res.Time != want.Time {
+			t.Fatalf("full run after peak-only diverges: peak %d vs %d, time %v vs %v",
+				res.PeakBytes, want.PeakBytes, res.Time, want.Time)
+		}
+		pool.Put(s)
+	}
+}

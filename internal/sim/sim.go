@@ -14,11 +14,18 @@
 // recompute volumes — or an OOM failure when the plan does not
 // actually fit, which is the ground truth behind the × entries of
 // Tables IV-VII.
+//
+// The executor is arena-backed: every piece of per-run state — the
+// event heap, the per-tensor residency/refcount/block mirrors, the
+// allocator's internals, the split-execution scratch — lives in
+// flat, dense-ID-indexed slices that reset() reinitializes in place,
+// so a Simulator recycled through a SimPool runs a full iteration with
+// near-zero heap allocation and byte-identical results to a fresh one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"slices"
 	"sort"
 
 	"tsplit/internal/core"
@@ -185,7 +192,7 @@ func (r Result) Throughput(batch int) float64 {
 }
 
 // tensorState tracks where a tensor's bytes currently are.
-type tensorState int
+type tensorState int8
 
 const (
 	unborn tensorState = iota
@@ -198,28 +205,126 @@ const (
 // ErrOOM wraps allocation failures: the plan does not fit.
 var ErrOOM = fmt.Errorf("sim: out of device memory")
 
-// freeEvent is a pending deferred free (a swap-out completing).
+// freeEvent is a pending deferred free (a swap-out completing). seq is
+// the issue order; it breaks ties so the peak-only mode — which
+// freezes every stream clock at zero — pops events in exactly the
+// order a timed run would (the D2H clock advances strictly between
+// pushes, so a timed run's pop order is the issue order too).
 type freeEvent struct {
 	at    float64
+	seq   int64
 	block memorypool.Block
 	t     *graph.Tensor
 }
 
+// freeHeap is a concrete binary min-heap of freeEvents ordered by
+// (at, seq). A typed heap instead of container/heap: the interface
+// methods box every pushed and popped event, and the event loop pays
+// that on every deferred free.
 type freeHeap []freeEvent
 
-func (h freeHeap) Len() int            { return len(h) }
-func (h freeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(freeEvent)) }
-func (h *freeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h freeHeap) before(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *freeHeap) push(ev freeEvent) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *freeHeap) pop() freeEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = freeEvent{}
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.before(l, least) {
+			least = l
+		}
+		if r < n && q.before(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
+}
+
+// hogEvent is one injected capacity-shrink window and the phantom
+// co-located-job block it holds while active.
+type hogEvent struct {
+	ev   faults.CapacityEvent
+	blk  memorypool.Block
+	held bool
+}
+
+// maxCompactions bounds defragmentation passes per iteration.
+const maxCompactions = 64
+
+// arenaChunk is the slab size of blockArena. Chunks are never
+// reallocated, so a *Block handed out by take stays valid for the
+// whole arena window.
+const arenaChunk = 64
+
+// blockArena hands out stable *memorypool.Block slots for the block
+// variables an executing operator holds across potential compactions
+// (workspaces, staged micro-outputs, streamed micro-inputs). Slots are
+// recycled per operator; every take within one window returns a
+// distinct address, so the compaction remapper never visits the same
+// pointer twice.
+type blockArena struct {
+	chunks [][]memorypool.Block
+	n      int
+}
+
+func (a *blockArena) take(b memorypool.Block) *memorypool.Block {
+	ci, si := a.n/arenaChunk, a.n%arenaChunk
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]memorypool.Block, arenaChunk))
+	}
+	a.n++
+	p := &a.chunks[ci][si]
+	*p = b
+	return p
+}
+
+func (a *blockArena) reset() { a.n = 0 }
+
+// carvedInput pairs an evict-as-consumed split input with its in-place
+// partition (blocks aliases one of the Simulator's carve buffers).
+type carvedInput struct {
+	t      *graph.Tensor
+	blocks []memorypool.Block
 }
 
 // Simulator executes one training iteration of a planned graph.
+//
+// All internal state is indexed by the dense tensor and op IDs the
+// graph package assigns at construction, and reset() reinitializes
+// every structure in place, so one Simulator can be reused across runs
+// (see SimPool) without per-run allocation and with results
+// byte-identical to a freshly constructed one.
 type Simulator struct {
 	G     *graph.Graph
 	Sched *graph.Schedule
@@ -229,35 +334,88 @@ type Simulator struct {
 	Cost  *costmodel.Model
 	Opts  Options
 
-	pool    *memorypool.Pool
-	state   map[*graph.Tensor]tensorState
-	block   map[*graph.Tensor]memorypool.Block
-	readyAt map[*graph.Tensor]float64
+	pool *memorypool.Pool
+
+	// Per-tensor mirrors indexed by graph.Tensor.ID.
+	state   []tensorState
+	block   []memorypool.Block // Size == 0: no device block (real blocks are >= Alignment)
+	readyAt []float64
 	// remaining schedule uses per tensor.
-	remaining map[*graph.Tensor]int
+	remaining []int32
 	// wasRecomputed marks tensors whose device copy came from a
 	// regeneration (for memory-centric re-dropping).
-	wasRecomputed map[*graph.Tensor]bool
+	wasRecomputed []bool
 	// earlyCopied marks tensors whose bytes already streamed to the
 	// host during their (EarlyOut-split) producer.
-	earlyCopied map[*graph.Tensor]bool
-	// lruCache orders speed-centric/LRU cached regenerations.
+	earlyCopied []bool
+	// pinned marks tensors the currently executing operator touches;
+	// the allocator's pressure valve may not evict them. pinnedIDs is
+	// the set-bit list so clearing is O(pins), not O(tensors).
+	pinned    []bool
+	pinnedIDs []int32
+	// residentB caches resident() per tensor for the current plan.
+	residentB []bool
+
+	// Dense plan mirrors: tplans[id]/planned[id] mirror Plan.Tensors,
+	// splitIdx[opID] indexes splitList (-1: unsplit), and planIDs is
+	// the sorted key list the deterministic walks use.
+	tplans    []core.TensorPlan
+	planned   []bool
+	planIDs   []int32
+	splitIdx  []int32
+	splitList []core.OpSplit
+	// schedIdx maps op ID -> schedule index.
+	schedIdx []int32
+
+	// opTime caches Cost.OpTime per schedule index. The cost model is
+	// pure in (device, op), so the cache survives pool recycling as
+	// long as the (graph, device) identity holds.
+	opTime    []float64
+	opTimeG   *graph.Graph
+	opTimeDev device.Device
+
+	// lruCache orders speed-centric/LRU cached regenerations; lruHead
+	// is the eviction cursor (popping advances it instead of reslicing
+	// away capacity).
 	lruCache []*graph.Tensor
+	lruHead  int
 
 	// stream clocks.
 	tc, td, th float64
 
-	// prefetch agenda: schedule index -> tensors to start swapping in.
-	prefetch map[int][]*graph.Tensor
+	// prefetch agenda in CSR form: tensors to start swapping in before
+	// schedule index i are prefTensors[prefStart[i]:prefStart[i+1]].
+	prefStart   []int32
+	prefTensors []*graph.Tensor
+	prefCur     []int32
+
 	// pending holds deferred frees (swap-outs still in flight).
 	pending freeHeap
+	pendSeq int64
+
 	// locals registers pointers to block variables held by the
 	// currently executing operator, so pool compaction can remap them
 	// alongside s.block and s.pending. Cleared after every operator.
+	// The pointers come from arena (stable addresses) or from the
+	// split scratch buffers below (append-stable within one op).
 	locals []*memorypool.Block
-	// pinned marks tensors the currently executing operator touches;
-	// the allocator's pressure valve may not evict them.
-	pinned map[*graph.Tensor]bool
+	arena  blockArena
+
+	// Split-execution scratch, reused across split ops.
+	carveBuf     [2][]memorypool.Block
+	carvedIns    []carvedInput
+	restoreSlots []memorypool.Block
+	outBlocks    []memorypool.Block
+	microPtrs    []*memorypool.Block
+	microOn      []bool
+
+	// Recompute-chain scratch: an epoch-stamped DFS walker plus
+	// free-lists of chain/frame/fresh buffers (free-lists, not single
+	// buffers, because regeneration re-enters through ensureInput).
+	walker    chainWalker
+	chainFree [][]*graph.Op
+	frameFree [][]chainFrame
+	freshFree [][]*graph.Tensor
 
 	// compactions counts defragmentation passes this run (bounded to
 	// stop pathological thrash).
@@ -273,40 +431,59 @@ type Simulator struct {
 	bwMul []float64
 	hogs  []hogEvent
 
+	// peakOnly freezes the stream clocks: the run executes the exact
+	// allocation/free/eviction event sequence (which is independent of
+	// simulated time) while skipping all timing, noise, span, and
+	// timeline work. See PredictPeak.
+	peakOnly bool
+
 	res Result
 }
-
-// hogEvent is one injected capacity-shrink window and the phantom
-// co-located-job block it holds while active.
-type hogEvent struct {
-	ev   faults.CapacityEvent
-	blk  memorypool.Block
-	held bool
-}
-
-// maxCompactions bounds defragmentation passes per iteration.
-const maxCompactions = 64
 
 // hold registers a local block pointer for compaction remapping.
 func (s *Simulator) hold(b *memorypool.Block) { s.locals = append(s.locals, b) }
 
+// holdVal copies b into a stable arena slot, registers it for
+// compaction remapping, and returns the slot.
+func (s *Simulator) holdVal(b memorypool.Block) *memorypool.Block {
+	p := s.arena.take(b)
+	s.locals = append(s.locals, p)
+	return p
+}
+
 // clearLocals drops local registrations after an operator completes.
 func (s *Simulator) clearLocals() {
 	s.locals = s.locals[:0]
-	for t := range s.pinned {
-		delete(s.pinned, t)
+	s.arena.reset()
+	for _, id := range s.pinnedIDs {
+		s.pinned[id] = false
 	}
+	s.pinnedIDs = s.pinnedIDs[:0]
 }
 
 // pin protects the tensors an operator touches from pressure eviction
 // while it executes.
 func (s *Simulator) pin(op *graph.Op) {
 	for _, t := range op.Inputs {
-		s.pinned[t] = true
+		if !s.pinned[t.ID] {
+			s.pinned[t.ID] = true
+			s.pinnedIDs = append(s.pinnedIDs, int32(t.ID))
+		}
 	}
 	for _, t := range op.Outputs {
-		s.pinned[t] = true
+		if !s.pinned[t.ID] {
+			s.pinned[t.ID] = true
+			s.pinnedIDs = append(s.pinnedIDs, int32(t.ID))
+		}
 	}
+}
+
+// pushPending schedules blk to be freed when t's swap-out completes at
+// time at. The issue sequence keeps the heap FIFO when clocks are
+// frozen (peak-only mode).
+func (s *Simulator) pushPending(at float64, blk memorypool.Block, t *graph.Tensor) {
+	s.pendSeq++
+	s.pending.push(freeEvent{at: at, seq: s.pendSeq, block: blk, t: t})
 }
 
 // New builds a simulator for one (graph, schedule, plan, device).
@@ -323,59 +500,154 @@ func New(g *graph.Graph, sched *graph.Schedule, lv *graph.Liveness, plan *core.P
 // transfer returns PCIe seconds for a byte count.
 func (s *Simulator) transfer(b int64) float64 { return float64(b) / s.Dev.PCIeBandwidth }
 
+// grow returns a zeroed slice of length n, reusing buf's storage when
+// it is large enough.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 func (s *Simulator) reset() {
-	s.pool = memorypool.New(s.Opts.Capacity, s.Opts.PoolStrategy)
-	s.state = make(map[*graph.Tensor]tensorState, len(s.G.Tensors))
-	s.block = make(map[*graph.Tensor]memorypool.Block, len(s.G.Tensors))
-	s.readyAt = make(map[*graph.Tensor]float64, len(s.G.Tensors))
-	s.remaining = make(map[*graph.Tensor]int, len(s.G.Tensors))
-	s.wasRecomputed = make(map[*graph.Tensor]bool)
-	s.earlyCopied = make(map[*graph.Tensor]bool)
-	s.pinned = make(map[*graph.Tensor]bool)
-	s.lruCache = nil
+	nT := len(s.G.Tensors)
+	nOps := len(s.G.Ops)
+	nSched := len(s.Sched.Ops)
+
+	if s.pool == nil {
+		s.pool = memorypool.New(s.Opts.Capacity, s.Opts.PoolStrategy)
+	} else {
+		s.pool.ResetTo(s.Opts.Capacity, s.Opts.PoolStrategy)
+	}
+	s.state = grow(s.state, nT)
+	s.block = grow(s.block, nT)
+	s.readyAt = grow(s.readyAt, nT)
+	s.remaining = grow(s.remaining, nT)
+	s.wasRecomputed = grow(s.wasRecomputed, nT)
+	s.earlyCopied = grow(s.earlyCopied, nT)
+	s.pinned = grow(s.pinned, nT)
+	s.pinnedIDs = s.pinnedIDs[:0]
+	s.residentB = grow(s.residentB, nT)
+	s.lruCache = s.lruCache[:0]
+	s.lruHead = 0
 	s.tc, s.td, s.th = 0, 0, 0
 	s.compactions = 0
-	s.locals = nil
-	s.pending = nil
-	heap.Init(&s.pending)
+	s.locals = s.locals[:0]
+	s.arena.reset()
+	s.pending = s.pending[:0]
+	s.pendSeq = 0
 	s.res = Result{}
 	s.inj = s.Opts.Faults
 	s.curOp = 0
-	s.noise, s.bwMul, s.hogs = nil, nil, nil
+	s.noise, s.bwMul = nil, nil
+	s.hogs = s.hogs[:0]
 	if s.inj != nil {
-		n := len(s.Sched.Ops)
-		s.noise = make([]float64, n)
-		s.bwMul = make([]float64, n)
-		for i := 0; i < n; i++ {
-			s.noise[i] = s.inj.OpTimeFactor(i)
-			s.bwMul[i] = s.inj.TransferFactor(i)
+		if !s.peakOnly {
+			// Noise and bandwidth multipliers only perturb timing; the
+			// peak-only mode never reads them.
+			s.noise = make([]float64, nSched)
+			s.bwMul = make([]float64, nSched)
+			for i := 0; i < nSched; i++ {
+				s.noise[i] = s.inj.OpTimeFactor(i)
+				s.bwMul[i] = s.inj.TransferFactor(i)
+			}
 		}
-		for _, ev := range s.inj.CapacityEvents(n, s.Opts.Capacity) {
+		for _, ev := range s.inj.CapacityEvents(nSched, s.Opts.Capacity) {
 			s.hogs = append(s.hogs, hogEvent{ev: ev})
 		}
 	}
-	s.prefetch = make(map[int][]*graph.Tensor)
-	// Iterate the plan in tensor-ID order so prefetches sharing a
-	// schedule point are issued deterministically (Plan.Tensors is a
-	// map; ranging it directly would vary the H2D order run to run).
-	ids := make([]int, 0, len(s.Plan.Tensors))
+
+	// Dense plan mirrors, visited in tensor-ID order so every
+	// plan-driven walk (prefetch issue in particular) is deterministic
+	// regardless of Plan.Tensors map iteration.
+	s.tplans = grow(s.tplans, nT)
+	s.planned = grow(s.planned, nT)
+	s.planIDs = s.planIDs[:0]
+	//lint:allow maporder key collection; sorted before use
 	for id := range s.Plan.Tensors {
-		ids = append(ids, id)
+		s.planIDs = append(s.planIDs, int32(id))
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		tp := s.Plan.Tensors[id]
-		if tp.Opt == core.Swap && tp.MicroRestore <= 1 && tp.RestoreAt >= 0 {
-			at := tp.PrefetchAt
-			if at < 0 || at > tp.RestoreAt {
-				at = tp.RestoreAt
-			}
-			s.prefetch[at] = append(s.prefetch[at], tp.Tensor)
-		}
+	slices.Sort(s.planIDs)
+	for _, id := range s.planIDs {
+		s.tplans[id] = s.Plan.Tensors[int(id)]
+		s.planned[id] = true
+	}
+	s.splitIdx = growFill(s.splitIdx, nOps, -1)
+	s.splitList = s.splitList[:0]
+	//lint:allow maporder each entry is indexed independently by op ID
+	for opID, spl := range s.Plan.Splits {
+		s.splitIdx[opID] = int32(len(s.splitList))
+		s.splitList = append(s.splitList, spl)
+	}
+	s.schedIdx = grow(s.schedIdx, nOps)
+	for i, op := range s.Sched.Ops {
+		s.schedIdx[op.ID] = int32(i)
 	}
 	for _, t := range s.G.Tensors {
-		s.remaining[t] = len(t.Consumers)
+		s.remaining[t.ID] = int32(len(t.Consumers))
+		if t.Producer == nil {
+			s.residentB[t.ID] = s.planResident(t)
+		}
 	}
+
+	// Prefetch agenda in CSR form, filled in tensor-ID order per
+	// schedule point (the order the map-based agenda was issued in).
+	s.prefStart = grow(s.prefStart, nSched+1)
+	for _, id := range s.planIDs {
+		if at, ok := s.prefetchAt(id); ok {
+			s.prefStart[at+1]++
+		}
+	}
+	for i := 1; i <= nSched; i++ {
+		s.prefStart[i] += s.prefStart[i-1]
+	}
+	s.prefTensors = grow(s.prefTensors, int(s.prefStart[nSched]))
+	s.prefCur = grow(s.prefCur, nSched)
+	copy(s.prefCur, s.prefStart[:nSched])
+	for _, id := range s.planIDs {
+		if at, ok := s.prefetchAt(id); ok {
+			s.prefTensors[s.prefCur[at]] = s.tplans[id].Tensor
+			s.prefCur[at]++
+		}
+	}
+
+	if !s.peakOnly && (s.opTimeG != s.G || s.opTimeDev != s.Cost.Dev) {
+		s.opTime = grow(s.opTime, nSched)
+		for i, op := range s.Sched.Ops {
+			s.opTime[i] = s.Cost.OpTime(op)
+		}
+		s.opTimeG, s.opTimeDev = s.G, s.Cost.Dev
+	}
+}
+
+// growFill returns a slice of length n with every element set to v,
+// reusing buf's storage when possible.
+func growFill(buf []int32, n int, v int32) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = v
+	}
+	return buf
+}
+
+// prefetchAt returns the schedule index at which planned tensor id's
+// swap-in prefetch is issued, if the plan swaps it back in whole.
+func (s *Simulator) prefetchAt(id int32) (int, bool) {
+	tp := &s.tplans[id]
+	if tp.Opt != core.Swap || tp.MicroRestore > 1 || tp.RestoreAt < 0 {
+		return 0, false
+	}
+	at := tp.PrefetchAt
+	if at < 0 || at > tp.RestoreAt {
+		at = tp.RestoreAt
+	}
+	return at, true
 }
 
 // PoolLayout exposes the allocator layout for diagnostics.
@@ -390,9 +662,10 @@ func (s *Simulator) PoolLayout(rows int) string {
 // large, for diagnostics.
 func (s *Simulator) DeviceResidents(minBytes int64) []string {
 	var out []string
-	for t, st := range s.state {
+	for id, st := range s.state {
+		t := s.G.Tensors[id]
 		if st == onDevice && t.Bytes() >= minBytes {
-			out = append(out, fmt.Sprintf("%-28s %7.2f GiB", t.Name, float64(t.Bytes())/(1<<30)))
+			out = append(out, fmt.Sprintf("%-28s %7.2f GiB", t.Name, float64(t.Bytes())/(1<<30))) //lint:allow scratchreuse diagnostic dump, off the event loop
 		}
 	}
 	sort.Strings(out)

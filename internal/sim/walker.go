@@ -1,0 +1,140 @@
+package sim
+
+import "tsplit/internal/graph"
+
+// chainWalker is the simulator's allocation-free mirror of
+// core.RecomputeChain: an iterative post-order DFS over producers with
+// an epoch-stamped seen array instead of a fresh visited map per call.
+// It reproduces core's traversal (and therefore its chain order)
+// exactly; when the walk fails, regenerate re-runs core.RecomputeChain
+// on the cold path to obtain the identical error message.
+type chainWalker struct {
+	seen  []int32
+	epoch int32
+}
+
+// chainFrame is one explicit DFS stack frame: the op being expanded
+// and the next input index to examine.
+type chainFrame struct {
+	op  *graph.Op
+	idx int
+}
+
+// walkChain computes the recompute chain for t into a recycled buffer.
+// ok=false mirrors any core.RecomputeChain error (missing producer or
+// chain longer than the op count). The returned slice must go back via
+// putChain. Buffers come from free-lists, not fixed fields, because
+// regeneration re-enters: executing a chain can drop tensors (LRU
+// pressure valve) whose next use walks a nested chain.
+func (s *Simulator) walkChain(t *graph.Tensor) ([]*graph.Op, bool) {
+	w := &s.walker
+	nOps := len(s.G.Ops)
+	if len(w.seen) < nOps {
+		w.seen = make([]int32, nOps)
+		w.epoch = 0
+	}
+	w.epoch++
+	epoch := w.epoch
+	maxLen := nOps
+	count := 0
+	chain := s.takeChain()
+	stack := s.takeFrames()
+	ok := true
+
+	p := t.Producer
+	if p == nil {
+		ok = false
+	} else {
+		w.seen[p.ID] = epoch
+		count++
+		if count > maxLen {
+			ok = false
+		} else {
+			stack = append(stack, chainFrame{op: p})
+		}
+	}
+	for ok && len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(f.op.Inputs) {
+			in := f.op.Inputs[f.idx]
+			f.idx++
+			if s.chainAvail(in) {
+				continue
+			}
+			q := in.Producer
+			if q == nil {
+				ok = false
+				break
+			}
+			if w.seen[q.ID] == epoch {
+				continue
+			}
+			w.seen[q.ID] = epoch
+			count++
+			if count > maxLen {
+				ok = false
+				break
+			}
+			stack = append(stack, chainFrame{op: q}) //lint:allow scratchreuse stack is free-list recycled; putFrames stores it length-reset
+			continue
+		}
+		chain = append(chain, f.op) //lint:allow scratchreuse chain is free-list recycled; putChain stores it length-reset
+		stack = stack[:len(stack)-1]
+	}
+	s.putFrames(stack)
+	return chain, ok
+}
+
+func (s *Simulator) takeChain() []*graph.Op {
+	if n := len(s.chainFree); n > 0 {
+		c := s.chainFree[n-1]
+		s.chainFree[n-1] = nil
+		s.chainFree = s.chainFree[:n-1]
+		return c
+	}
+	return nil
+}
+
+func (s *Simulator) putChain(c []*graph.Op) {
+	if cap(c) == 0 {
+		return
+	}
+	clear(c)
+	s.chainFree = append(s.chainFree, c[:0])
+}
+
+func (s *Simulator) takeFrames() []chainFrame {
+	if n := len(s.frameFree); n > 0 {
+		f := s.frameFree[n-1]
+		s.frameFree[n-1] = nil
+		s.frameFree = s.frameFree[:n-1]
+		return f
+	}
+	return nil
+}
+
+func (s *Simulator) putFrames(f []chainFrame) {
+	if cap(f) == 0 {
+		return
+	}
+	clear(f)
+	s.frameFree = append(s.frameFree, f[:0])
+}
+
+func (s *Simulator) takeFresh() []*graph.Tensor {
+	if n := len(s.freshFree); n > 0 {
+		f := s.freshFree[n-1]
+		s.freshFree[n-1] = nil
+		s.freshFree = s.freshFree[:n-1]
+		return f
+	}
+	return nil
+}
+
+func (s *Simulator) putFresh(f []*graph.Tensor) {
+	if cap(f) == 0 {
+		return
+	}
+	clear(f)
+	s.freshFree = append(s.freshFree, f[:0])
+}

@@ -1,12 +1,15 @@
 #!/bin/sh
-# bench_guard.sh — planner hot-path regression guard.
+# bench_guard.sh — planner and simulator hot-path regression guard.
 #
 # Runs the Plan() benchmarks (with the default nil Recorder, i.e. the
-# observability no-op path) and fails if any model regresses against
+# observability no-op path) and the simulator benchmarks (cold, pooled
+# arena, and peak-only fast path) and fails if any regresses against
 # the recorded baseline in bench_results.txt:
 #
 #   - allocs/op: > +10% (allocation counts are deterministic, so the
-#     tolerance only absorbs map-rehash jitter);
+#     tolerance only absorbs map-rehash jitter) — plus an absolute
+#     slack of 2 allocs for the zero-alloc pooled paths, where +10% of
+#     ~0 would reject harmless jitter;
 #   - ns/op:     > +50% (wall time on a shared box is noisy; the wide
 #     bar still catches an accidental return to full-rebuild scans,
 #     which cost 4-10x).
@@ -19,30 +22,30 @@ cd "$(dirname "$0")/.."
 BASELINE=bench_results.txt
 if [ ! -f "$BASELINE" ]; then
     echo "bench-guard: FAIL: baseline file $BASELINE not found in $(pwd)" >&2
-    echo "bench-guard: record one with: go test -run '^\$' -bench BenchmarkPlannerPlan -benchtime 5x . | tee $BASELINE" >&2
+    echo "bench-guard: record one with: go test -run '^\$' -bench 'BenchmarkPlannerPlan|BenchmarkSimRun|BenchmarkPredictPeak' -benchtime 100x . | tee $BASELINE" >&2
     exit 1
 fi
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
 # 100 iterations: the guarded benchmarks are sub-millisecond each, and
-# at 5x the planner's one-time arena warm-up (first Plan() on a fresh
-# planner) dominated allocs/op; 100x measures the steady state the
-# baseline records.
+# at 5x the one-time arena warm-up (first run on a fresh planner or
+# simulator pool) dominated allocs/op; 100x measures the steady state
+# the baseline records.
 GOMAXPROCS=1 go test -run '^$' \
-    -bench 'BenchmarkPlannerPlan_(VGG16|ResNet50|BERTLarge)$' \
+    -bench 'Benchmark(PlannerPlan_(VGG16|ResNet50|BERTLarge)|SimRun_(VGG16|ResNet50|BERTLarge)|SimRunPooled_BERTLarge|PredictPeak_BERTLarge)$' \
     -benchtime 100x . >"$OUT" 2>&1 || { cat "$OUT"; exit 1; }
 
 awk '
     function field(unit,    i) { for (i = 2; i <= NF; i++) if ($i == unit) return $(i-1); return -1 }
     FNR == NR {
-        if ($1 ~ /^BenchmarkPlannerPlan_/ && field("allocs/op") >= 0) {
+        if ($1 ~ /^Benchmark(PlannerPlan|SimRun|SimRunPooled|PredictPeak)_/ && field("allocs/op") >= 0) {
             base_allocs[$1] = field("allocs/op")
             base_ns[$1] = field("ns/op")
         }
         next
     }
-    $1 ~ /^BenchmarkPlannerPlan_/ {
+    $1 ~ /^Benchmark(PlannerPlan|SimRun|SimRunPooled|PredictPeak)_/ {
         name = $1; sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
         allocs = field("allocs/op"); ns = field("ns/op")
         if (allocs < 0) next
@@ -52,7 +55,7 @@ awk '
             bad = 1; next
         }
         ok = 1
-        if (allocs > base_allocs[name] * 1.10) {
+        if (allocs > base_allocs[name] * 1.10 + 2) {
             printf "bench-guard: FAIL %-32s %8d allocs/op > baseline %d +10%%\n", name, allocs, base_allocs[name]
             bad = 1; ok = 0
         }
@@ -66,7 +69,7 @@ awk '
         }
     }
     END {
-        if (seen < 3) { printf "bench-guard: only %d benchmark results parsed\n", seen; bad = 1 }
+        if (seen < 8) { printf "bench-guard: only %d benchmark results parsed, want 8\n", seen; bad = 1 }
         exit bad
     }
 ' "$BASELINE" "$OUT" || { cat "$OUT"; exit 1; }
